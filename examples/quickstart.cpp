@@ -1,0 +1,63 @@
+// Quickstart: compile a C kernel to hardware, inspect the results, and
+// verify the generated circuit against software — the whole public API in
+// one page.
+//
+//   $ ./quickstart
+#include <cstdio>
+
+#include "roccc/compiler.hpp"
+#include "synth/estimate.hpp"
+#include "vhdl/check.hpp"
+
+int main() {
+  // 1. A streaming kernel in the ROCCC C subset: a 5-tap FIR.
+  const char* source = R"(
+    void fir(const int16 A[36], int16 C[32]) {
+      int i;
+      for (i = 0; i < 32; i = i + 1) {
+        C[i] = 3*A[i] + 5*A[i+1] + 7*A[i+2] + 9*A[i+3] - A[i+4];
+      }
+    }
+  )";
+
+  // 2. Compile: parse -> loop transforms -> scalar replacement -> SSA ->
+  //    data-path generation -> RTL -> VHDL.
+  roccc::Compiler compiler;
+  const roccc::CompileResult result = compiler.compileSource(source);
+  if (!result.ok) {
+    std::fprintf(stderr, "compilation failed:\n%s\n", result.diags.dump().c_str());
+    return 1;
+  }
+
+  std::printf("== compiled kernel '%s' ==\n", result.kernel.kernelName.c_str());
+  for (const auto& line : result.passLog) std::printf("  %s\n", line.c_str());
+
+  // 3. The generated data path: nodes, stages, inferred widths.
+  std::printf("\n== data path ==\n%s\n", result.datapath.dump().c_str());
+
+  // 4. Synthesis estimate (Virtex-II model): Table 1's two columns.
+  const auto report = roccc::synth::estimate(result.module);
+  std::printf("== synthesis estimate ==\n  %s\n", report.summary().c_str());
+
+  // 5. The VHDL (validated, one component per data-path node).
+  const auto check = roccc::vhdl::checkDesign(result.vhdl);
+  std::printf("\n== VHDL ==\n  %d entities, %d instantiations, validator: %s\n",
+              check.entityCount, check.instantiationCount, check.ok ? "OK" : "PROBLEMS");
+  std::printf("  (full text in result.vhdl — %zu characters)\n", result.vhdl.size());
+
+  // 6. Hardware/software cosimulation on real data.
+  roccc::interp::KernelIO inputs;
+  for (int i = 0; i < 36; ++i) inputs.arrays["A"].push_back((i * 31) % 199 - 99);
+  const auto cosim = roccc::cosimulate(result, source, inputs);
+  std::printf("\n== cosimulation ==\n  %s", cosim.match ? "hardware == software" : "MISMATCH");
+  std::printf(" | %lld cycles for %lld iterations, %lld BRAM reads\n",
+              static_cast<long long>(cosim.stats.cycles),
+              static_cast<long long>(cosim.stats.iterations),
+              static_cast<long long>(cosim.stats.bramReads));
+  std::printf("  first outputs:");
+  for (int i = 0; i < 6; ++i) {
+    std::printf(" %lld", static_cast<long long>(cosim.hardware.arrays.at("C")[i]));
+  }
+  std::printf("\n");
+  return cosim.match ? 0 : 1;
+}

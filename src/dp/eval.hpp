@@ -1,0 +1,25 @@
+// Reference evaluator for a built DataPath — one iteration, value-accurate
+// at the *inferred* widths. Used by tests to prove (a) data-path
+// construction preserves MIR semantics and (b) bit-width narrowing never
+// loses bits that reach an output.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "dp/datapath.hpp"
+
+namespace roccc::dp {
+
+struct EvalResult {
+  std::vector<Value> outputs;                ///< by output port index
+  std::map<std::string, Value> nextFeedback; ///< SNX values
+};
+
+/// Computes every op at its inferred (narrowed) width. `feedback` carries
+/// previous-iteration register values; missing entries use initial values.
+EvalResult evaluate(const DataPath& dp, const std::vector<Value>& inputs,
+                    const std::map<std::string, Value>& feedback);
+
+} // namespace roccc::dp

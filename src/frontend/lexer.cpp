@@ -1,0 +1,285 @@
+#include "frontend/lexer.hpp"
+
+#include <cctype>
+#include <unordered_map>
+
+namespace roccc::ast {
+
+const char* tokKindName(TokKind k) {
+  switch (k) {
+    case TokKind::End: return "end of input";
+    case TokKind::Identifier: return "identifier";
+    case TokKind::IntLiteral: return "integer literal";
+    case TokKind::KwVoid: return "'void'";
+    case TokKind::KwConst: return "'const'";
+    case TokKind::KwIf: return "'if'";
+    case TokKind::KwElse: return "'else'";
+    case TokKind::KwFor: return "'for'";
+    case TokKind::KwReturn: return "'return'";
+    case TokKind::KwInt: return "'int'";
+    case TokKind::KwUnsigned: return "'unsigned'";
+    case TokKind::KwSigned: return "'signed'";
+    case TokKind::KwChar: return "'char'";
+    case TokKind::KwShort: return "'short'";
+    case TokKind::KwLong: return "'long'";
+    case TokKind::LParen: return "'('";
+    case TokKind::RParen: return "')'";
+    case TokKind::LBrace: return "'{'";
+    case TokKind::RBrace: return "'}'";
+    case TokKind::LBracket: return "'['";
+    case TokKind::RBracket: return "']'";
+    case TokKind::Comma: return "','";
+    case TokKind::Semicolon: return "';'";
+    case TokKind::Star: return "'*'";
+    case TokKind::Amp: return "'&'";
+    case TokKind::Pipe: return "'|'";
+    case TokKind::Caret: return "'^'";
+    case TokKind::Tilde: return "'~'";
+    case TokKind::Bang: return "'!'";
+    case TokKind::Plus: return "'+'";
+    case TokKind::Minus: return "'-'";
+    case TokKind::Slash: return "'/'";
+    case TokKind::Percent: return "'%'";
+    case TokKind::Assign: return "'='";
+    case TokKind::Lt: return "'<'";
+    case TokKind::Gt: return "'>'";
+    case TokKind::Le: return "'<='";
+    case TokKind::Ge: return "'>='";
+    case TokKind::EqEq: return "'=='";
+    case TokKind::NotEq: return "'!='";
+    case TokKind::Shl: return "'<<'";
+    case TokKind::Shr: return "'>>'";
+    case TokKind::AmpAmp: return "'&&'";
+    case TokKind::PipePipe: return "'||'";
+    case TokKind::PlusPlus: return "'++'";
+    case TokKind::MinusMinus: return "'--'";
+    case TokKind::PlusAssign: return "'+='";
+    case TokKind::MinusAssign: return "'-='";
+  }
+  return "?";
+}
+
+namespace {
+
+const std::unordered_map<std::string, TokKind>& keywordMap() {
+  static const std::unordered_map<std::string, TokKind> kMap = {
+      {"void", TokKind::KwVoid},   {"const", TokKind::KwConst}, {"if", TokKind::KwIf},
+      {"else", TokKind::KwElse},   {"for", TokKind::KwFor},     {"return", TokKind::KwReturn},
+      {"int", TokKind::KwInt},     {"unsigned", TokKind::KwUnsigned},
+      {"signed", TokKind::KwSigned}, {"char", TokKind::KwChar}, {"short", TokKind::KwShort},
+      {"long", TokKind::KwLong},
+  };
+  return kMap;
+}
+
+class Cursor {
+ public:
+  Cursor(const std::string& src, DiagEngine& diags) : src_(src), diags_(diags) {}
+
+  bool atEnd() const { return pos_ >= src_.size(); }
+  char peek(size_t ahead = 0) const {
+    return pos_ + ahead < src_.size() ? src_[pos_ + ahead] : '\0';
+  }
+  char advance() {
+    const char c = src_[pos_++];
+    if (c == '\n') {
+      ++line_;
+      col_ = 1;
+    } else {
+      ++col_;
+    }
+    return c;
+  }
+  SourceLoc loc() const { return {line_, col_}; }
+  DiagEngine& diags() { return diags_; }
+
+ private:
+  const std::string& src_;
+  DiagEngine& diags_;
+  size_t pos_ = 0;
+  int line_ = 1;
+  int col_ = 1;
+};
+
+void skipTrivia(Cursor& c) {
+  for (;;) {
+    while (!c.atEnd() && std::isspace(static_cast<unsigned char>(c.peek()))) c.advance();
+    if (c.peek() == '/' && c.peek(1) == '/') {
+      while (!c.atEnd() && c.peek() != '\n') c.advance();
+      continue;
+    }
+    if (c.peek() == '/' && c.peek(1) == '*') {
+      const SourceLoc start = c.loc();
+      c.advance();
+      c.advance();
+      bool closed = false;
+      while (!c.atEnd()) {
+        if (c.peek() == '*' && c.peek(1) == '/') {
+          c.advance();
+          c.advance();
+          closed = true;
+          break;
+        }
+        c.advance();
+      }
+      if (!closed) c.diags().error(start, "unterminated block comment");
+      continue;
+    }
+    return;
+  }
+}
+
+Token lexNumber(Cursor& c) {
+  Token t;
+  t.kind = TokKind::IntLiteral;
+  t.loc = c.loc();
+  std::string digits;
+  int base = 10;
+  if (c.peek() == '0' && (c.peek(1) == 'x' || c.peek(1) == 'X')) {
+    base = 16;
+    c.advance();
+    c.advance();
+    while (std::isxdigit(static_cast<unsigned char>(c.peek()))) digits += c.advance();
+    if (digits.empty()) c.diags().error(t.loc, "hex literal with no digits");
+  } else {
+    while (std::isdigit(static_cast<unsigned char>(c.peek()))) digits += c.advance();
+  }
+  // Suffixes u/U/l/L are accepted and ignored (type comes from context).
+  while (c.peek() == 'u' || c.peek() == 'U' || c.peek() == 'l' || c.peek() == 'L') c.advance();
+  t.text = digits;
+  t.intValue = digits.empty() ? 0 : static_cast<int64_t>(std::stoull(digits, nullptr, base));
+  return t;
+}
+
+} // namespace
+
+std::vector<Token> lex(const std::string& source, DiagEngine& diags) {
+  Cursor c(source, diags);
+  std::vector<Token> out;
+  for (;;) {
+    skipTrivia(c);
+    Token t;
+    t.loc = c.loc();
+    if (c.atEnd()) {
+      t.kind = TokKind::End;
+      out.push_back(t);
+      return out;
+    }
+    const char ch = c.peek();
+    if (std::isalpha(static_cast<unsigned char>(ch)) || ch == '_') {
+      std::string ident;
+      while (std::isalnum(static_cast<unsigned char>(c.peek())) || c.peek() == '_') ident += c.advance();
+      const auto it = keywordMap().find(ident);
+      if (it != keywordMap().end()) {
+        t.kind = it->second;
+      } else {
+        t.kind = TokKind::Identifier;
+      }
+      t.text = ident;
+      out.push_back(t);
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(ch))) {
+      out.push_back(lexNumber(c));
+      continue;
+    }
+    if (ch == '\'') {
+      // Character literal: value of the (possibly escaped) character.
+      c.advance();
+      char v = c.advance();
+      if (v == '\\') {
+        const char esc = c.advance();
+        switch (esc) {
+          case 'n': v = '\n'; break;
+          case 't': v = '\t'; break;
+          case '0': v = '\0'; break;
+          case '\\': v = '\\'; break;
+          case '\'': v = '\''; break;
+          default:
+            diags.error(t.loc, std::string("unknown escape '\\") + esc + "'");
+            v = esc;
+        }
+      }
+      if (c.peek() == '\'')
+        c.advance();
+      else
+        diags.error(t.loc, "unterminated character literal");
+      t.kind = TokKind::IntLiteral;
+      t.intValue = static_cast<unsigned char>(v);
+      out.push_back(t);
+      continue;
+    }
+    c.advance();
+    auto two = [&](char second, TokKind twoKind, TokKind oneKind) {
+      if (c.peek() == second) {
+        c.advance();
+        t.kind = twoKind;
+      } else {
+        t.kind = oneKind;
+      }
+    };
+    switch (ch) {
+      case '(': t.kind = TokKind::LParen; break;
+      case ')': t.kind = TokKind::RParen; break;
+      case '{': t.kind = TokKind::LBrace; break;
+      case '}': t.kind = TokKind::RBrace; break;
+      case '[': t.kind = TokKind::LBracket; break;
+      case ']': t.kind = TokKind::RBracket; break;
+      case ',': t.kind = TokKind::Comma; break;
+      case ';': t.kind = TokKind::Semicolon; break;
+      case '*': t.kind = TokKind::Star; break;
+      case '%': t.kind = TokKind::Percent; break;
+      case '~': t.kind = TokKind::Tilde; break;
+      case '^': t.kind = TokKind::Caret; break;
+      case '/': t.kind = TokKind::Slash; break;
+      case '+':
+        if (c.peek() == '+') {
+          c.advance();
+          t.kind = TokKind::PlusPlus;
+        } else if (c.peek() == '=') {
+          c.advance();
+          t.kind = TokKind::PlusAssign;
+        } else {
+          t.kind = TokKind::Plus;
+        }
+        break;
+      case '-':
+        if (c.peek() == '-') {
+          c.advance();
+          t.kind = TokKind::MinusMinus;
+        } else if (c.peek() == '=') {
+          c.advance();
+          t.kind = TokKind::MinusAssign;
+        } else {
+          t.kind = TokKind::Minus;
+        }
+        break;
+      case '=': two('=', TokKind::EqEq, TokKind::Assign); break;
+      case '!': two('=', TokKind::NotEq, TokKind::Bang); break;
+      case '&': two('&', TokKind::AmpAmp, TokKind::Amp); break;
+      case '|': two('|', TokKind::PipePipe, TokKind::Pipe); break;
+      case '<':
+        if (c.peek() == '<') {
+          c.advance();
+          t.kind = TokKind::Shl;
+        } else {
+          two('=', TokKind::Le, TokKind::Lt);
+        }
+        break;
+      case '>':
+        if (c.peek() == '>') {
+          c.advance();
+          t.kind = TokKind::Shr;
+        } else {
+          two('=', TokKind::Ge, TokKind::Gt);
+        }
+        break;
+      default:
+        diags.error(t.loc, std::string("unexpected character '") + ch + "'");
+        continue;
+    }
+    out.push_back(t);
+  }
+}
+
+} // namespace roccc::ast

@@ -1,0 +1,43 @@
+// Tokenizer for the ROCCC C subset.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "support/diag.hpp"
+
+namespace roccc::ast {
+
+enum class TokKind {
+  End,
+  Identifier,
+  IntLiteral,
+  // keywords
+  KwVoid, KwConst, KwIf, KwElse, KwFor, KwReturn,
+  KwInt, KwUnsigned, KwSigned, KwChar, KwShort, KwLong,
+  // punctuation
+  LParen, RParen, LBrace, RBrace, LBracket, RBracket,
+  Comma, Semicolon, Star, Amp, Pipe, Caret, Tilde, Bang,
+  Plus, Minus, Slash, Percent, Assign,
+  Lt, Gt, Le, Ge, EqEq, NotEq, Shl, Shr, AmpAmp, PipePipe,
+  PlusPlus, MinusMinus, PlusAssign, MinusAssign,
+};
+
+struct Token {
+  TokKind kind = TokKind::End;
+  std::string text;
+  int64_t intValue = 0;
+  SourceLoc loc;
+
+  bool is(TokKind k) const { return kind == k; }
+};
+
+const char* tokKindName(TokKind k);
+
+/// Tokenizes the whole buffer (handles // and /* */ comments, decimal / hex /
+/// char literals). Errors are reported through `diags`; lexing continues so
+/// the parser can surface multiple problems in one run.
+std::vector<Token> lex(const std::string& source, DiagEngine& diags);
+
+} // namespace roccc::ast

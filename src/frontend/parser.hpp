@@ -1,0 +1,22 @@
+// Recursive-descent parser for the ROCCC C subset.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "frontend/ast.hpp"
+#include "support/diag.hpp"
+
+namespace roccc::ast {
+
+/// Parses `source` into a Module. On syntax errors, diagnostics are recorded
+/// and a best-effort partial module is returned; callers must check
+/// diags.hasErrors() before using the result.
+Module parse(const std::string& source, DiagEngine& diags);
+
+/// Parses a type name ("int16", "unsigned", "uint5", ...). Returns nullopt
+/// if `name` is not a scalar type spelling. Width must be 1..64 (sema later
+/// restricts user code to <= 32, matching the paper).
+std::optional<ScalarType> parseTypeName(const std::string& name);
+
+} // namespace roccc::ast

@@ -1,0 +1,28 @@
+// Semantic analysis for the ROCCC C subset: name resolution, type checking
+// with C integer promotions, and enforcement of the paper's hardware
+// restrictions (section 2: no recursion, no un-analyzable pointers; user
+// types at most 32 bits, section 4.2.4).
+#pragma once
+
+#include "frontend/ast.hpp"
+#include "support/diag.hpp"
+
+namespace roccc::ast {
+
+/// Runs semantic analysis over the module in place:
+///  - resolves every VarRef/ArrayRef/LValue to its VarDecl,
+///  - computes expression types (C usual arithmetic conversions on a 32-bit
+///    promotion lattice; comparisons produce 1-bit unsigned),
+///  - inserts implicit CastExprs at assignments and intrinsic boundaries,
+///  - checks ROCCC restrictions: no recursion, calls only to intrinsics or
+///    module-local functions, out-params written not read, array index
+///    arity/dimension bounds where constant, loop bounds constant for
+///    full unrolling candidates.
+/// Returns false if any errors were reported.
+bool analyze(Module& m, DiagEngine& diags);
+
+/// Result type of an intrinsic call given argument types; used by sema and
+/// by later phases re-checking synthesized code.
+ScalarType intrinsicResultType(const std::string& name, const std::vector<ScalarType>& argTypes);
+
+} // namespace roccc::ast

@@ -1,0 +1,95 @@
+#include "hlir/cosim.hpp"
+
+#include <cassert>
+
+#include "support/strings.hpp"
+
+namespace roccc::hlir {
+
+interp::KernelIO simulateStreams(const KernelInfo& k, const interp::KernelIO& io) {
+  interp::Interpreter dp(k.dpModule);
+
+  // Input array storage (by name).
+  std::map<std::string, std::vector<int64_t>> arrays;
+  for (const Stream& st : k.inputs) {
+    const auto it = io.arrays.find(st.arrayName);
+    if (it == io.arrays.end()) {
+      throw interp::InterpError{{}, fmt("input array '%0' not bound", st.arrayName)};
+    }
+    arrays[st.arrayName] = it->second;
+  }
+  for (const Stream& st : k.outputs) {
+    int64_t n = 1;
+    for (int64_t d : st.dims) n *= d;
+    arrays[st.arrayName].assign(static_cast<size_t>(n), 0);
+  }
+
+  // Feedback registers.
+  std::map<std::string, int64_t> feedback;
+  for (const Feedback& fb : k.feedbacks) feedback[fb.name] = fb.initial;
+
+  std::map<std::string, int64_t> lastScalarOut;
+
+  // Iterate the loop space lexicographically (outer slow).
+  std::vector<int64_t> ivs(k.loops.size());
+  const int64_t total = k.totalIterations();
+  for (int64_t t = 0; t < total; ++t) {
+    // Decode iteration index -> induction values.
+    int64_t rem = t;
+    for (size_t li = k.loops.size(); li-- > 0;) {
+      const LoopDim& l = k.loops[li];
+      ivs[li] = l.begin + (rem % l.trips()) * l.step;
+      rem /= l.trips();
+    }
+
+    interp::KernelIO it;
+    // Gather input windows.
+    for (const Stream& st : k.inputs) {
+      const auto& data = arrays.at(st.arrayName);
+      for (size_t a = 0; a < st.offsets.size(); ++a) {
+        const int64_t addr = st.flatAddress(a, ivs);
+        assert(addr >= 0 && addr < static_cast<int64_t>(data.size()));
+        it.scalars[st.scalarNames[a]] = data[static_cast<size_t>(addr)];
+      }
+    }
+    // Scalar inputs: loop invariants from io, induction values live.
+    for (const ScalarInput& si : k.scalarInputs) {
+      if (si.isInduction) {
+        it.scalars[si.name] = ivs[static_cast<size_t>(si.loop)];
+      } else {
+        const auto f = io.scalars.find(si.name);
+        if (f == io.scalars.end()) {
+          throw interp::InterpError{{}, fmt("scalar input '%0' not bound", si.name)};
+        }
+        it.scalars[si.name] = f->second;
+      }
+    }
+    // Feedback state override.
+    for (const auto& [name, v] : feedback) it.scalars[name] = v;
+
+    const interp::KernelIO r = dp.run(k.dpName, it);
+
+    // Scatter outputs.
+    for (const Stream& st : k.outputs) {
+      auto& data = arrays.at(st.arrayName);
+      for (size_t a = 0; a < st.offsets.size(); ++a) {
+        const int64_t addr = st.flatAddress(a, ivs);
+        assert(addr >= 0 && addr < static_cast<int64_t>(data.size()));
+        data[static_cast<size_t>(addr)] = r.scalars.at(st.scalarNames[a]);
+      }
+    }
+    for (const ScalarOutput& so : k.scalarOutputs) {
+      lastScalarOut[so.name] = r.scalars.at(so.name);
+    }
+    // Thread feedback to the next iteration.
+    for (auto& [name, v] : feedback) v = r.scalars.at(name);
+  }
+
+  interp::KernelIO out;
+  for (const Stream& st : k.outputs) out.arrays[st.arrayName] = arrays.at(st.arrayName);
+  for (const auto& [n, v] : lastScalarOut) out.scalars[n] = v;
+  for (const auto& [n, v] : feedback) out.scalars[n] = v;
+  return out;
+}
+
+} // namespace roccc::hlir

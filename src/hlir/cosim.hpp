@@ -1,0 +1,22 @@
+// Software execution of the extracted streaming model (Fig 2): iterates the
+// loop space, gathers each input window, runs the data-path function with
+// the interpreter, threads feedback registers, and scatters output windows.
+//
+// This is the semantic reference the RTL implementation must match; tests
+// compare it both against the whole-kernel interpreter (validating
+// extraction) and against the cycle-accurate hardware simulation
+// (validating the back end).
+#pragma once
+
+#include "hlir/kernel.hpp"
+#include "interp/interp.hpp"
+
+namespace roccc::hlir {
+
+/// Runs the streaming execution model in software. `io` binds the original
+/// kernel's input arrays and scalar inputs by name. The result holds output
+/// arrays, exported scalars, and final feedback values — the same shape
+/// interp::runKernel produces for the original kernel function.
+interp::KernelIO simulateStreams(const KernelInfo& k, const interp::KernelIO& io);
+
+} // namespace roccc::hlir

@@ -1,0 +1,1021 @@
+#include "hlir/kernel.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <map>
+#include <set>
+
+#include "frontend/sema.hpp"
+#include "support/strings.hpp"
+
+namespace roccc::hlir {
+
+using namespace roccc::ast;
+
+// ---------------------------------------------------------------------------
+// Stream geometry
+// ---------------------------------------------------------------------------
+
+int64_t Stream::extent(size_t d) const {
+  int64_t lo = offsets[0][d], hi = offsets[0][d];
+  for (const auto& off : offsets) {
+    lo = std::min(lo, off[d]);
+    hi = std::max(hi, off[d]);
+  }
+  return hi - lo + 1;
+}
+
+int64_t Stream::minOffset(size_t d) const {
+  int64_t lo = offsets[0][d];
+  for (const auto& off : offsets) lo = std::min(lo, off[d]);
+  return lo;
+}
+
+int64_t Stream::strideForLoop(size_t d, const std::vector<LoopDim>& loops, int loop) const {
+  if (dimMap[d].loop != loop) return 0;
+  return dimMap[d].coeff * loops[static_cast<size_t>(loop)].step;
+}
+
+int64_t Stream::flatAddress(size_t a, const std::vector<int64_t>& ivs) const {
+  int64_t flat = 0;
+  for (size_t d = 0; d < dims.size(); ++d) {
+    const int64_t base = dimMap[d].loop >= 0 ? dimMap[d].coeff * ivs[static_cast<size_t>(dimMap[d].loop)] : 0;
+    flat = flat * dims[d] + base + offsets[a][d];
+  }
+  return flat;
+}
+
+// ---------------------------------------------------------------------------
+// Affine analysis
+// ---------------------------------------------------------------------------
+
+namespace {
+
+AffineForm invalidForm() { return {}; }
+
+AffineForm combine(const AffineForm& a, const AffineForm& b, int64_t bScale) {
+  AffineForm r;
+  if (!a.valid || !b.valid) return invalidForm();
+  r.valid = true;
+  r.constant = a.constant + bScale * b.constant;
+  r.terms = a.terms;
+  for (const auto& [d, c] : b.terms) {
+    bool found = false;
+    for (auto& [rd, rc] : r.terms) {
+      if (rd == d) {
+        rc += bScale * c;
+        found = true;
+        break;
+      }
+    }
+    if (!found) r.terms.emplace_back(d, bScale * c);
+  }
+  std::erase_if(r.terms, [](const auto& t) { return t.second == 0; });
+  return r;
+}
+
+AffineForm scale(const AffineForm& a, int64_t s) {
+  AffineForm r = a;
+  r.constant *= s;
+  for (auto& [d, c] : r.terms) c *= s;
+  std::erase_if(r.terms, [](const auto& t) { return t.second == 0; });
+  return r;
+}
+
+} // namespace
+
+AffineForm analyzeAffine(const Expr& e) {
+  switch (e.kind) {
+    case ExprKind::IntLit: {
+      AffineForm f;
+      f.valid = true;
+      f.constant = static_cast<const IntLitExpr&>(e).value;
+      return f;
+    }
+    case ExprKind::VarRef: {
+      AffineForm f;
+      f.valid = true;
+      f.terms.emplace_back(static_cast<const VarRefExpr&>(e).decl, 1);
+      return f;
+    }
+    case ExprKind::Cast:
+      return analyzeAffine(*static_cast<const CastExpr&>(e).operand);
+    case ExprKind::Unary: {
+      const auto& u = static_cast<const UnaryExpr&>(e);
+      if (u.op != UnOp::Neg) return invalidForm();
+      return scale(analyzeAffine(*u.operand), -1);
+    }
+    case ExprKind::Binary: {
+      const auto& b = static_cast<const BinaryExpr&>(e);
+      const AffineForm l = analyzeAffine(*b.lhs);
+      const AffineForm r = analyzeAffine(*b.rhs);
+      switch (b.op) {
+        case BinOp::Add: return combine(l, r, 1);
+        case BinOp::Sub: return combine(l, r, -1);
+        case BinOp::Mul:
+          if (l.valid && l.terms.empty()) return scale(r, l.constant);
+          if (r.valid && r.terms.empty()) return scale(l, r.constant);
+          return invalidForm();
+        case BinOp::Shl:
+          if (r.valid && r.terms.empty() && r.constant >= 0 && r.constant < 31) {
+            return scale(l, int64_t{1} << r.constant);
+          }
+          return invalidForm();
+        default:
+          return invalidForm();
+      }
+    }
+    default:
+      return invalidForm();
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Extraction
+// ---------------------------------------------------------------------------
+
+namespace {
+
+struct LoopNest {
+  std::vector<const ForStmt*> loops;
+  const BlockStmt* computeBody = nullptr;
+};
+
+/// Requires: fn.body = [pre stmts] for-nest [post stmts]; the nest is
+/// perfect (each loop's body contains exactly the next loop).
+struct KernelShape {
+  std::vector<const Stmt*> preStmts;
+  LoopNest nest;
+  std::vector<const Stmt*> postStmts;
+  bool ok = false;
+};
+
+KernelShape decomposeKernel(const Function& fn, DiagEngine& diags) {
+  KernelShape shape;
+  const ForStmt* loop = nullptr;
+  for (const auto& s : fn.body->stmts) {
+    if (s->kind == StmtKind::For) {
+      if (loop) {
+        diags.error(s->loc, fmt("kernel '%0': only one top-level loop nest is supported "
+                                "(use loop fusion first)", fn.name));
+        return shape;
+      }
+      loop = static_cast<const ForStmt*>(s.get());
+    } else if (!loop) {
+      shape.preStmts.push_back(s.get());
+    } else {
+      shape.postStmts.push_back(s.get());
+    }
+  }
+  if (!loop) {
+    diags.error(fn.loc, fmt("kernel '%0' contains no loop", fn.name));
+    return shape;
+  }
+  // Descend the perfect nest.
+  const ForStmt* cur = loop;
+  for (;;) {
+    shape.nest.loops.push_back(cur);
+    const Stmt* body = cur->body.get();
+    const BlockStmt* block = body->kind == StmtKind::Block ? static_cast<const BlockStmt*>(body) : nullptr;
+    const ForStmt* onlyLoop = nullptr;
+    bool onlyLoopAlone = false;
+    if (block) {
+      if (block->stmts.size() == 1 && block->stmts[0]->kind == StmtKind::For) {
+        onlyLoop = static_cast<const ForStmt*>(block->stmts[0].get());
+        onlyLoopAlone = true;
+      }
+    } else if (body->kind == StmtKind::For) {
+      onlyLoop = static_cast<const ForStmt*>(body);
+      onlyLoopAlone = true;
+    }
+    if (onlyLoop && onlyLoopAlone) {
+      cur = onlyLoop;
+      continue;
+    }
+    // This is the compute body.
+    if (!block) {
+      diags.error(body->loc, "kernel loop body must be a block");
+      return shape;
+    }
+    shape.nest.computeBody = block;
+    break;
+  }
+  if (shape.nest.loops.size() > 2) {
+    diags.error(loop->loc, fmt("kernel '%0': loop nests deeper than 2 are not supported by the "
+                               "smart-buffer model", fn.name));
+    return shape;
+  }
+  shape.ok = true;
+  return shape;
+}
+
+/// Read-before-write classification of scalars in the compute body.
+/// A variable whose first dynamic reference can be a read carries its value
+/// across iterations => feedback candidate.
+class ReadFirstAnalysis {
+ public:
+  void run(const BlockStmt& body) {
+    std::set<const VarDecl*> written;
+    walkBlock(body, written);
+  }
+
+  bool readFirst(const VarDecl* d) const { return readFirst_.count(d) > 0; }
+  bool written(const VarDecl* d) const { return everWritten_.count(d) > 0; }
+  bool read(const VarDecl* d) const { return everRead_.count(d) > 0; }
+
+ private:
+  std::set<const VarDecl*> readFirst_, everWritten_, everRead_;
+
+  void noteRead(const VarDecl* d, const std::set<const VarDecl*>& written) {
+    if (!d) return;
+    everRead_.insert(d);
+    if (!written.count(d)) readFirst_.insert(d);
+  }
+
+  void readsInExpr(const Expr& e, const std::set<const VarDecl*>& written) {
+    forEachExpr(e, [&](const Expr& sub) {
+      if (sub.kind == ExprKind::VarRef) noteRead(static_cast<const VarRefExpr&>(sub).decl, written);
+    });
+  }
+
+  void walkBlock(const BlockStmt& b, std::set<const VarDecl*>& written) {
+    for (const auto& s : b.stmts) walkStmt(*s, written);
+  }
+
+  void walkStmt(const Stmt& s, std::set<const VarDecl*>& written) {
+    switch (s.kind) {
+      case StmtKind::Block:
+        walkBlock(static_cast<const BlockStmt&>(s), written);
+        break;
+      case StmtKind::Decl: {
+        const auto& d = static_cast<const DeclStmt&>(s);
+        if (d.init) readsInExpr(*d.init, written);
+        written.insert(&d.var); // a local decl always defines
+        everWritten_.insert(&d.var);
+        break;
+      }
+      case StmtKind::Assign: {
+        const auto& a = static_cast<const AssignStmt&>(s);
+        for (const auto& i : a.target.indices) readsInExpr(*i, written);
+        readsInExpr(*a.value, written);
+        if (a.target.kind == LValue::Kind::Var && a.target.decl) {
+          written.insert(a.target.decl);
+          everWritten_.insert(a.target.decl);
+        }
+        break;
+      }
+      case StmtKind::If: {
+        const auto& i = static_cast<const IfStmt&>(s);
+        readsInExpr(*i.cond, written);
+        std::set<const VarDecl*> thenW = written, elseW = written;
+        walkStmt(*i.thenBody, thenW);
+        if (i.elseBody) walkStmt(*i.elseBody, elseW);
+        // Definitely-written = written on both paths.
+        std::set<const VarDecl*> joined;
+        for (const VarDecl* d : thenW) {
+          if (elseW.count(d)) joined.insert(d);
+        }
+        written = std::move(joined);
+        break;
+      }
+      case StmtKind::For: {
+        const auto& f = static_cast<const ForStmt&>(s);
+        readsInExpr(*f.begin, written);
+        readsInExpr(*f.end, written);
+        // Body may or may not execute; treat like a branch.
+        std::set<const VarDecl*> bodyW = written;
+        bodyW.insert(f.inductionDecl);
+        everWritten_.insert(f.inductionDecl);
+        walkStmt(*f.body, bodyW);
+        break;
+      }
+      case StmtKind::Return:
+        break;
+      case StmtKind::CallStmt: {
+        const auto& c = static_cast<const CallExpr&>(*static_cast<const CallStmt&>(s).call);
+        if (c.callee == intrinsics::kStoreNext && c.args.size() == 2) {
+          readsInExpr(*c.args[1], written);
+          const auto& target = static_cast<const VarRefExpr&>(*c.args[0]);
+          if (target.decl) {
+            written.insert(target.decl);
+            everWritten_.insert(target.decl);
+          }
+          break;
+        }
+        if (c.callee == intrinsics::kLoadPrev && c.args.size() == 1) {
+          // Explicit "previous value" read: by definition read-first.
+          const auto& v = static_cast<const VarRefExpr&>(*c.args[0]);
+          if (v.decl) {
+            everRead_.insert(v.decl);
+            readFirst_.insert(v.decl);
+          }
+          break;
+        }
+        for (const auto& a : c.args) readsInExpr(*a, written);
+        break;
+      }
+    }
+  }
+};
+
+} // namespace
+
+// The main extraction routine. Kept as one orchestrating function with
+// focused lambdas: the stages mirror the paper's presentation order.
+bool extractKernel(const Module& m, const std::string& fnName, KernelInfo& out, DiagEngine& diags) {
+  const Function* fnPtr = m.findFunction(fnName);
+  if (!fnPtr) {
+    diags.error({}, fmt("no kernel named '%0'", fnName));
+    return false;
+  }
+  const Function& fn = *fnPtr;
+
+  // ---- stage 1: shape ------------------------------------------------------
+  KernelShape shape = decomposeKernel(fn, diags);
+  if (!shape.ok) return false;
+
+  out = KernelInfo{};
+  out.kernelName = fn.name;
+  out.dpName = fn.name + "_dp";
+
+  std::vector<const VarDecl*> ivDecls;
+  for (const ForStmt* l : shape.nest.loops) {
+    auto b = evalConstant(*l->begin);
+    auto e = evalConstant(*l->end);
+    if (!b || !e) {
+      diags.error(l->loc, fmt("kernel '%0': loop bounds must be compile-time constants", fn.name));
+      return false;
+    }
+    if (*e <= *b) {
+      diags.error(l->loc, fmt("kernel '%0': loop over [%1, %2) never executes", fn.name, *b, *e));
+      return false;
+    }
+    out.loops.push_back({l->inductionVar, *b, *e, l->step});
+    ivDecls.push_back(l->inductionDecl);
+  }
+
+  auto loopIndexOf = [&](const VarDecl* d) -> int {
+    for (size_t i = 0; i < ivDecls.size(); ++i)
+      if (ivDecls[i] == d) return static_cast<int>(i);
+    return -1;
+  };
+
+  const BlockStmt& body = *shape.nest.computeBody;
+  bool failed = false;
+  auto fail = [&](SourceLoc loc, const std::string& msg) {
+    diags.error(loc, msg);
+    failed = true;
+  };
+
+  // ---- stage 2: pre/post statement interpretation --------------------------
+  // Pre-loop: local declarations and constant scalar initializations.
+  std::map<const VarDecl*, int64_t> preInit;       // initial values
+  std::set<const VarDecl*> preDeclared;
+  for (const Stmt* s : shape.preStmts) {
+    if (s->kind == StmtKind::Decl) {
+      const auto& d = static_cast<const DeclStmt&>(*s);
+      preDeclared.insert(&d.var);
+      if (d.init) {
+        auto v = evalConstant(*d.init);
+        if (!v) {
+          fail(d.loc, fmt("pre-loop initializer of '%0' must be constant", d.var.name));
+          continue;
+        }
+        preInit[&d.var] = *v;
+      } else {
+        preInit[&d.var] = 0;
+      }
+    } else if (s->kind == StmtKind::Assign) {
+      const auto& a = static_cast<const AssignStmt&>(*s);
+      auto v = evalConstant(*a.value);
+      if (a.target.kind != LValue::Kind::Var || !v) {
+        fail(a.loc, "pre-loop statements must be constant scalar initializations");
+        continue;
+      }
+      preInit[a.target.decl] = *v;
+    } else {
+      fail(s->loc, "unsupported statement before the kernel loop");
+    }
+  }
+  // Post-loop: '*out = var' exports and 'return'.
+  std::map<const VarDecl*, std::string> exports; // var -> out-param name
+  for (const Stmt* s : shape.postStmts) {
+    if (s->kind == StmtKind::Return) continue;
+    if (s->kind == StmtKind::Assign) {
+      const auto& a = static_cast<const AssignStmt&>(*s);
+      if (a.target.kind == LValue::Kind::Deref && a.value->kind == ExprKind::VarRef) {
+        exports[static_cast<const VarRefExpr&>(*a.value).decl] = a.target.name;
+        continue;
+      }
+    }
+    fail(s->loc, "post-loop statements must be '*out = scalar' exports");
+  }
+  if (failed) return false;
+
+  // ---- stage 3: access scan -------------------------------------------------
+  struct StreamBuild {
+    const VarDecl* array = nullptr;
+    std::vector<DimMap> dimMap;
+    std::vector<std::vector<int64_t>> offsets;
+    bool isOutput = false;
+  };
+  std::map<const VarDecl*, StreamBuild> streamBuilds;
+  std::vector<const VarDecl*> streamOrder; // stable order of first touch
+
+  auto registerAccess = [&](const VarDecl* array, const std::vector<ExprPtr>& indices, bool isWrite,
+                            SourceLoc loc) -> int {
+    auto [it, inserted] = streamBuilds.try_emplace(array);
+    StreamBuild& sb = it->second;
+    if (inserted) {
+      sb.array = array;
+      sb.dimMap.assign(array->type.dims.size(), DimMap{});
+      sb.isOutput = isWrite;
+      streamOrder.push_back(array);
+    }
+    if (sb.isOutput != isWrite) {
+      fail(loc, fmt("array '%0' is both read and written in the kernel", array->name));
+      return -1;
+    }
+    std::vector<int64_t> offset(indices.size(), 0);
+    for (size_t d = 0; d < indices.size(); ++d) {
+      const AffineForm af = analyzeAffine(*indices[d]);
+      if (!af.valid || af.terms.size() > 1) {
+        fail(loc, fmt("index %0 of '%1' is not affine in a single loop variable", d, array->name));
+        return -1;
+      }
+      int loop = -1;
+      int64_t coeff = 0;
+      if (!af.terms.empty()) {
+        loop = loopIndexOf(af.terms[0].first);
+        coeff = af.terms[0].second;
+        if (loop < 0) {
+          fail(loc, fmt("index %0 of '%1' uses a non-induction variable", d, array->name));
+          return -1;
+        }
+        if (coeff <= 0) {
+          fail(loc, fmt("index %0 of '%1' must advance forward", d, array->name));
+          return -1;
+        }
+      }
+      DimMap& dm = sb.dimMap[d];
+      if (dm.loop == -1 && loop != -1) {
+        dm.loop = loop;
+        dm.coeff = coeff;
+      } else if (loop != -1 && (dm.loop != loop || dm.coeff != coeff)) {
+        fail(loc, fmt("accesses to '%0' disagree on the index pattern of dimension %1", array->name, d));
+        return -1;
+      }
+      offset[d] = af.constant;
+    }
+    for (size_t i = 0; i < sb.offsets.size(); ++i) {
+      if (sb.offsets[i] == offset) return static_cast<int>(i);
+    }
+    sb.offsets.push_back(std::move(offset));
+    return static_cast<int>(sb.offsets.size() - 1);
+  };
+
+  auto isInputArray = [&](const VarDecl* d) {
+    return d->type.isArray() &&
+           ((d->storage == Storage::Param && d->mode == ParamMode::In) ||
+            (d->storage == Storage::Global && !(d->isConst && !d->init.empty())));
+  };
+  auto isLookupTable = [&](const VarDecl* d) {
+    return d->type.isArray() && d->isConst && !d->init.empty();
+  };
+
+  std::set<const VarDecl*> lutTables;
+  // Scan all reads.
+  forEachExprInStmt(body, [&](const Expr& e) {
+    if (e.kind != ExprKind::ArrayRef) return;
+    const auto& a = static_cast<const ArrayRefExpr&>(e);
+    if (!a.decl) return;
+    if (isLookupTable(a.decl)) {
+      // Affine-in-iv const-table reads stream like inputs; dynamic-index
+      // reads become ROM lookups during the rewrite.
+      bool affineInIv = true;
+      for (const auto& idx : a.indices) {
+        const AffineForm af = analyzeAffine(*idx);
+        if (!af.valid || (af.terms.size() == 1 && loopIndexOf(af.terms[0].first) < 0) || af.terms.size() > 1) {
+          affineInIv = false;
+        }
+      }
+      if (!affineInIv) {
+        lutTables.insert(a.decl);
+        return;
+      }
+    }
+    if (isInputArray(a.decl) || isLookupTable(a.decl)) {
+      registerAccess(a.decl, a.indices, /*isWrite=*/false, a.loc);
+    }
+  });
+  // The ROCCC_lookup intrinsic's table argument must not be treated as a
+  // stream; record the table instead.
+  forEachExprInStmt(body, [&](const Expr& e) {
+    if (e.kind != ExprKind::Call) return;
+    const auto& c = static_cast<const CallExpr&>(e);
+    if (c.callee == intrinsics::kLookup && !c.args.empty() && c.args[0]->kind == ExprKind::VarRef) {
+      const auto& t = static_cast<const VarRefExpr&>(*c.args[0]);
+      if (t.decl) lutTables.insert(t.decl);
+    }
+  });
+  // Scan writes.
+  forEachStmt(body, [&](const Stmt& s) {
+    if (s.kind != StmtKind::Assign) return;
+    const auto& a = static_cast<const AssignStmt&>(s);
+    if (a.target.kind == LValue::Kind::ArrayElem && a.target.decl) {
+      registerAccess(a.target.decl, a.target.indices, /*isWrite=*/true, a.loc);
+    }
+  });
+  if (failed) return false;
+
+  // ---- stage 4: scalar classification ---------------------------------------
+  ReadFirstAnalysis rfa;
+  rfa.run(body);
+
+  std::vector<const VarDecl*> feedbackDecls;
+  std::vector<const VarDecl*> scalarParamInputs;
+  std::set<const VarDecl*> inductionValueUses;
+  std::vector<const VarDecl*> scalarOutDecls;
+
+  // Scalars referenced inside the body.
+  std::set<const VarDecl*> bodyScalars;
+  forEachExprInStmt(body, [&](const Expr& e) {
+    if (e.kind == ExprKind::VarRef && static_cast<const VarRefExpr&>(e).decl) {
+      bodyScalars.insert(static_cast<const VarRefExpr&>(e).decl);
+    }
+  });
+  forEachStmt(body, [&](const Stmt& s) {
+    if (s.kind == StmtKind::Assign) {
+      const auto& a = static_cast<const AssignStmt&>(s);
+      if (a.target.kind == LValue::Kind::Var && a.target.decl) bodyScalars.insert(a.target.decl);
+      if (a.target.kind == LValue::Kind::Deref && a.target.decl) scalarOutDecls.push_back(a.target.decl);
+    }
+  });
+  // Locals declared inside the body.
+  std::set<const VarDecl*> bodyLocals;
+  forEachStmt(body, [&](const Stmt& s) {
+    if (s.kind == StmtKind::Decl) bodyLocals.insert(&static_cast<const DeclStmt&>(s).var);
+  });
+
+  // Remove array refs (handled as streams) and intrinsics' table args.
+  for (const VarDecl* d : bodyScalars) {
+    if (d->type.isArray()) continue;
+    const int li = loopIndexOf(d);
+    if (li >= 0) {
+      // Induction uses that survive index analysis (value uses) are found
+      // during the rewrite below; provisionally note the variable.
+      continue;
+    }
+    if (bodyLocals.count(d)) continue; // per-iteration temp
+    if (d->storage == Storage::Param) {
+      if (d->mode == ParamMode::In) {
+        scalarParamInputs.push_back(d);
+      }
+      continue; // Out scalar params handled via scalarOutDecls
+    }
+    // Global or pre-loop local.
+    if (rfa.written(d) && rfa.readFirst(d)) {
+      feedbackDecls.push_back(d);
+    } else if (rfa.written(d)) {
+      // Written every iteration, never read across iterations: still a
+      // state variable if exported, otherwise a temp.
+      if (exports.count(d)) feedbackDecls.push_back(d);
+    } else {
+      // Read-only loop-invariant local/global: constant input.
+      if (preInit.count(d) || !d->init.empty()) {
+        // Becomes a literal via its constant initial value — treat as
+        // feedback with no writes (register holding a constant)? Simpler:
+        // a scalar input bound to the constant is wasteful; substitute in
+        // the rewrite below.
+      } else {
+        fail(d->loc, fmt("loop-invariant scalar '%0' has no constant initial value", d->name));
+      }
+    }
+  }
+  // Exports of variables that are not feedbacks (e.g. exporting a scalar
+  // param) are unsupported.
+  for (const auto& [d, outName] : exports) {
+    if (std::find(feedbackDecls.begin(), feedbackDecls.end(), d) == feedbackDecls.end()) {
+      fail(d->loc, fmt("exported scalar '%0' is not a loop-carried variable", d->name));
+    }
+  }
+  if (failed) return false;
+
+  // ---- stage 5: stream finalization -----------------------------------------
+  auto finalizeStream = [&](const StreamBuild& sb) {
+    Stream st;
+    st.arrayName = sb.array->name;
+    st.elemType = sb.array->type.scalar;
+    st.dims = sb.array->type.dims;
+    st.dimMap = sb.dimMap;
+    st.offsets = sb.offsets;
+    // Sort accesses row-major by offset for deterministic naming.
+    std::vector<size_t> order(st.offsets.size());
+    for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+    std::sort(order.begin(), order.end(),
+              [&](size_t a, size_t b) { return st.offsets[a] < st.offsets[b]; });
+    std::vector<std::vector<int64_t>> sorted;
+    for (size_t i : order) sorted.push_back(st.offsets[i]);
+    st.offsets = std::move(sorted);
+    for (size_t i = 0; i < st.offsets.size(); ++i) {
+      st.scalarNames.push_back(fmt(sb.isOutput ? "%0_o%1" : "%0%1", sb.array->name, i));
+    }
+    return st;
+  };
+
+  std::map<const VarDecl*, int> streamIndex; // array decl -> index into inputs/outputs
+  for (const VarDecl* d : streamOrder) {
+    const StreamBuild& sb = streamBuilds.at(d);
+    Stream st = finalizeStream(sb);
+    // Bounds validation over the whole iteration space (corners suffice:
+    // affine, positive coefficients).
+    for (size_t dim = 0; dim < st.dims.size(); ++dim) {
+      const DimMap& dm = st.dimMap[dim];
+      const int64_t first = dm.loop >= 0 ? dm.coeff * out.loops[static_cast<size_t>(dm.loop)].begin : 0;
+      const auto& lp = dm.loop >= 0 ? out.loops[static_cast<size_t>(dm.loop)] : LoopDim{};
+      const int64_t lastIv = dm.loop >= 0 ? lp.begin + (lp.trips() - 1) * lp.step : 0;
+      const int64_t last = dm.loop >= 0 ? dm.coeff * lastIv : 0;
+      if (first + st.minOffset(dim) < 0 ||
+          last + st.minOffset(dim) + st.extent(dim) - 1 >= st.dims[dim]) {
+        fail(d->loc, fmt("window of '%0' overruns dimension %1 (size %2)", st.arrayName, dim,
+                         st.dims[dim]));
+      }
+    }
+    if (sb.isOutput) {
+      streamIndex[d] = static_cast<int>(out.outputs.size());
+      out.outputs.push_back(std::move(st));
+    } else {
+      streamIndex[d] = static_cast<int>(out.inputs.size());
+      out.inputs.push_back(std::move(st));
+    }
+  }
+  if (failed) return false;
+
+  // ---- stage 6: data-path function construction ------------------------------
+  // dpModule: feedback globals + lookup tables + the dp function.
+  for (const VarDecl* d : feedbackDecls) {
+    Feedback fb;
+    fb.name = d->name;
+    fb.type = d->type.scalar;
+    if (auto it = preInit.find(d); it != preInit.end()) {
+      fb.initial = it->second;
+    } else if (!d->init.empty()) {
+      fb.initial = d->init[0];
+    }
+    if (auto it = exports.find(d); it != exports.end()) fb.exportedTo = it->second;
+    out.feedbacks.push_back(fb);
+
+    VarDecl g;
+    g.name = d->name;
+    g.type = d->type;
+    g.storage = Storage::Global;
+    g.init.push_back(fb.initial);
+    g.loc = d->loc;
+    out.dpModule.globals.push_back(std::move(g));
+  }
+  for (const VarDecl* t : lutTables) {
+    out.dpModule.globals.push_back(*t);
+  }
+
+  Function dp;
+  dp.name = out.dpName;
+  dp.loc = fn.loc;
+
+  // Input params: stream scalars, then loop-invariant scalar params, then
+  // induction values (appended lazily during the rewrite when used).
+  for (const Stream& st : out.inputs) {
+    for (const std::string& n : st.scalarNames) {
+      VarDecl p;
+      p.name = n;
+      p.type = Type::scalarOf(st.elemType);
+      p.storage = Storage::Param;
+      p.mode = ParamMode::In;
+      dp.params.push_back(std::move(p));
+    }
+  }
+  for (const VarDecl* d : scalarParamInputs) {
+    VarDecl p;
+    p.name = d->name;
+    p.type = d->type;
+    p.storage = Storage::Param;
+    p.mode = ParamMode::In;
+    dp.params.push_back(std::move(p));
+    out.scalarInputs.push_back({d->name, d->type.scalar, false, -1});
+  }
+
+  std::set<int> inductionInputs; // loop indices whose value feeds the dp
+
+  // Output params.
+  for (const Stream& st : out.outputs) {
+    for (const std::string& n : st.scalarNames) {
+      VarDecl p;
+      p.name = n;
+      p.type = Type::scalarOf(st.elemType);
+      p.storage = Storage::Param;
+      p.mode = ParamMode::Out;
+      dp.params.push_back(std::move(p));
+    }
+  }
+  for (const VarDecl* d : scalarOutDecls) {
+    VarDecl p;
+    p.name = d->name;
+    p.type = d->type;
+    p.storage = Storage::Param;
+    p.mode = ParamMode::Out;
+    if (std::none_of(dp.params.begin(), dp.params.end(),
+                     [&](const VarDecl& q) { return q.name == d->name; })) {
+      dp.params.push_back(std::move(p));
+      out.scalarOutputs.push_back({d->name, d->type.scalar});
+    }
+  }
+  // Exports create out params too.
+  for (const Feedback& fb : out.feedbacks) {
+    if (fb.exportedTo.empty()) continue;
+    if (std::any_of(dp.params.begin(), dp.params.end(),
+                    [&](const VarDecl& q) { return q.name == fb.exportedTo; })) {
+      continue;
+    }
+    VarDecl p;
+    p.name = fb.exportedTo;
+    p.type = Type::scalarOf(fb.type);
+    p.storage = Storage::Param;
+    p.mode = ParamMode::Out;
+    dp.params.push_back(std::move(p));
+    out.scalarOutputs.push_back({fb.exportedTo, fb.type});
+  }
+
+  // Body: feedback loads, rewritten compute statements, feedback stores,
+  // exports.
+  auto dpBody = std::make_unique<BlockStmt>();
+  auto fbLocalName = [](const std::string& n) { return n + "_fb"; };
+
+  // Scalars declared outside the loop but used as per-iteration temporaries
+  // (written before read every iteration, e.g. bit_correlator's counter)
+  // need local declarations inside the data-path function.
+  {
+    const std::set<const VarDecl*> feedbackSetEarly(feedbackDecls.begin(), feedbackDecls.end());
+    for (const VarDecl* d : bodyScalars) {
+      if (d->type.isArray() || bodyLocals.count(d) || feedbackSetEarly.count(d)) continue;
+      if (d->storage == Storage::Param || loopIndexOf(d) >= 0) continue;
+      if (!rfa.written(d)) continue; // read-only constants are substituted
+      auto decl = std::make_unique<DeclStmt>();
+      decl->var.name = d->name;
+      decl->var.type = d->type;
+      decl->var.storage = Storage::Local;
+      decl->loc = d->loc;
+      dpBody->stmts.push_back(std::move(decl));
+    }
+  }
+
+  for (const Feedback& fb : out.feedbacks) {
+    auto d = std::make_unique<DeclStmt>();
+    d->var.name = fbLocalName(fb.name);
+    d->var.type = Type::scalarOf(fb.type);
+    d->var.storage = Storage::Local;
+    auto lp = std::make_unique<CallExpr>();
+    lp->callee = intrinsics::kLoadPrev;
+    lp->args.push_back(std::make_unique<VarRefExpr>(fb.name));
+    d->init = std::move(lp);
+    dpBody->stmts.push_back(std::move(d));
+  }
+
+  // Rewrite pass over a clone of the compute body.
+  const std::set<const VarDecl*> feedbackSet(feedbackDecls.begin(), feedbackDecls.end());
+  std::function<void(ExprPtr&)> rewriteExpr = [&](ExprPtr& e) {
+    // Children first.
+    switch (e->kind) {
+      case ExprKind::ArrayRef: {
+        auto& a = static_cast<ArrayRefExpr&>(*e);
+        // NOTE: stream accesses are matched on the *original* affine indices;
+        // rewriting them first would corrupt the offsets.
+        if (a.decl && streamIndex.count(a.decl) && !streamBuilds.at(a.decl).isOutput) {
+          // NOTE: indices were already affine; match the offset vector to
+          // find the window scalar.
+          const Stream& st = out.inputs[static_cast<size_t>(streamIndex.at(a.decl))];
+          std::vector<int64_t> off(a.indices.size(), 0);
+          for (size_t d2 = 0; d2 < a.indices.size(); ++d2) {
+            off[d2] = analyzeAffine(*a.indices[d2]).constant;
+          }
+          for (size_t i = 0; i < st.offsets.size(); ++i) {
+            if (st.offsets[i] == off) {
+              auto v = std::make_unique<VarRefExpr>(st.scalarNames[i]);
+              v->loc = e->loc;
+              e = std::move(v);
+              return;
+            }
+          }
+          assert(false && "access not found in stream");
+        } else if (a.decl && isLookupTable(a.decl)) {
+          // Dynamic const-table read -> ROCCC_lookup (ROM instantiation).
+          for (auto& i : a.indices) rewriteExpr(i);
+          auto lut = std::make_unique<CallExpr>();
+          lut->callee = intrinsics::kLookup;
+          lut->loc = e->loc;
+          lut->args.push_back(std::make_unique<VarRefExpr>(a.name));
+          assert(a.indices.size() == 1 && "multi-dim dynamic tables unsupported");
+          lut->args.push_back(std::move(a.indices[0]));
+          e = std::move(lut);
+        }
+        return;
+      }
+      case ExprKind::VarRef: {
+        auto& v = static_cast<VarRefExpr&>(*e);
+        if (!v.decl) return;
+        if (feedbackSet.count(v.decl)) {
+          v.name = fbLocalName(v.name);
+          v.decl = nullptr;
+          return;
+        }
+        const int li = loopIndexOf(v.decl);
+        if (li >= 0) {
+          // Value use of the induction variable: feed it as a scalar input.
+          if (!inductionInputs.count(li)) inductionInputs.insert(li);
+          v.name = out.loops[static_cast<size_t>(li)].iv + "_val";
+          v.decl = nullptr;
+        }
+        // Constant loop-invariant local/global reads: substitute literal.
+        if (v.decl && v.decl->storage != Storage::Param && !bodyLocals.count(v.decl) &&
+            !v.decl->type.isArray() && !rfa.written(v.decl)) {
+          int64_t init = 0;
+          if (auto it = preInit.find(v.decl); it != preInit.end())
+            init = it->second;
+          else if (!v.decl->init.empty())
+            init = v.decl->init[0];
+          auto lit = std::make_unique<IntLitExpr>(init);
+          lit->loc = e->loc;
+          e = std::move(lit);
+        }
+        return;
+      }
+      case ExprKind::Unary:
+        rewriteExpr(static_cast<UnaryExpr&>(*e).operand);
+        return;
+      case ExprKind::Binary: {
+        auto& b = static_cast<BinaryExpr&>(*e);
+        rewriteExpr(b.lhs);
+        rewriteExpr(b.rhs);
+        return;
+      }
+      case ExprKind::Cast:
+        rewriteExpr(static_cast<CastExpr&>(*e).operand);
+        return;
+      case ExprKind::Call: {
+        auto& c = static_cast<CallExpr&>(*e);
+        for (size_t i = (c.callee == intrinsics::kLookup || c.callee == intrinsics::kLoadPrev ||
+                         c.callee == intrinsics::kStoreNext)
+                            ? 1u
+                            : 0u;
+             i < c.args.size(); ++i) {
+          rewriteExpr(c.args[i]);
+        }
+        if ((c.callee == intrinsics::kLoadPrev || c.callee == intrinsics::kStoreNext) &&
+            !c.args.empty() && c.args[0]->kind == ExprKind::VarRef) {
+          // Explicit feedback macros keep targeting the dp-module global.
+          static_cast<VarRefExpr&>(*c.args[0]).decl = nullptr;
+        }
+        return;
+      }
+      default:
+        return;
+    }
+  };
+
+  std::function<void(Stmt&)> rewriteStmt = [&](Stmt& s) {
+    switch (s.kind) {
+      case StmtKind::Block:
+        for (auto& st : static_cast<BlockStmt&>(s).stmts) rewriteStmt(*st);
+        break;
+      case StmtKind::Decl: {
+        auto& d = static_cast<DeclStmt&>(s);
+        if (d.init) rewriteExpr(d.init);
+        break;
+      }
+      case StmtKind::Assign: {
+        auto& a = static_cast<AssignStmt&>(s);
+        rewriteExpr(a.value);
+        if (a.target.kind == LValue::Kind::ArrayElem && a.target.decl &&
+            streamIndex.count(a.target.decl)) {
+          const Stream& st = out.outputs[static_cast<size_t>(streamIndex.at(a.target.decl))];
+          std::vector<int64_t> off(a.target.indices.size(), 0);
+          for (size_t d2 = 0; d2 < a.target.indices.size(); ++d2) {
+            off[d2] = analyzeAffine(*a.target.indices[d2]).constant;
+          }
+          for (size_t i = 0; i < st.offsets.size(); ++i) {
+            if (st.offsets[i] == off) {
+              a.target.kind = LValue::Kind::Deref;
+              a.target.name = st.scalarNames[i];
+              a.target.decl = nullptr;
+              a.target.indices.clear();
+              return;
+            }
+          }
+          assert(false && "output access not found in stream");
+        } else if (a.target.kind == LValue::Kind::Var && a.target.decl &&
+                   feedbackSet.count(a.target.decl)) {
+          a.target.name = fbLocalName(a.target.name);
+          a.target.decl = nullptr;
+        } else if (a.target.kind == LValue::Kind::Deref) {
+          a.target.decl = nullptr; // now refers to the dp's own out param
+        }
+        break;
+      }
+      case StmtKind::If: {
+        auto& i = static_cast<IfStmt&>(s);
+        rewriteExpr(i.cond);
+        rewriteStmt(*i.thenBody);
+        if (i.elseBody) rewriteStmt(*i.elseBody);
+        break;
+      }
+      case StmtKind::CallStmt:
+        rewriteExpr(static_cast<CallStmt&>(s).call);
+        break;
+      default:
+        break;
+    }
+  };
+
+  for (const auto& st : body.stmts) {
+    StmtPtr copy = st->clone();
+    rewriteStmt(*copy);
+    dpBody->stmts.push_back(std::move(copy));
+  }
+
+  // Feedback stores and exports.
+  for (const Feedback& fb : out.feedbacks) {
+    auto call = std::make_unique<CallExpr>();
+    call->callee = intrinsics::kStoreNext;
+    call->args.push_back(std::make_unique<VarRefExpr>(fb.name));
+    call->args.push_back(std::make_unique<VarRefExpr>(fbLocalName(fb.name)));
+    auto cs = std::make_unique<CallStmt>();
+    cs->call = std::move(call);
+    dpBody->stmts.push_back(std::move(cs));
+    if (!fb.exportedTo.empty()) {
+      auto a = std::make_unique<AssignStmt>();
+      a->target.kind = LValue::Kind::Deref;
+      a->target.name = fb.exportedTo;
+      a->value = std::make_unique<VarRefExpr>(fbLocalName(fb.name));
+      dpBody->stmts.push_back(std::move(a));
+    }
+  }
+
+  // Induction-value inputs discovered by the rewrite.
+  for (int li : inductionInputs) {
+    VarDecl p;
+    p.name = out.loops[static_cast<size_t>(li)].iv + "_val";
+    p.type = Type::scalarOf(ScalarType::intTy());
+    p.storage = Storage::Param;
+    p.mode = ParamMode::In;
+    // Insert before output params to keep inputs-then-outputs order.
+    auto firstOut = std::find_if(dp.params.begin(), dp.params.end(),
+                                 [](const VarDecl& q) { return q.mode == ParamMode::Out; });
+    dp.params.insert(firstOut, std::move(p));
+    out.scalarInputs.push_back({out.loops[static_cast<size_t>(li)].iv + "_val",
+                                ScalarType::intTy(), true, li});
+  }
+
+  dp.body = std::move(dpBody);
+  out.dpModule.functions.push_back(std::move(dp));
+
+  if (!analyze(out.dpModule, diags)) {
+    diags.error(fn.loc, fmt("internal: extracted data-path for '%0' failed analysis", fn.name));
+    return false;
+  }
+
+  // ---- stage 7: Fig 3(b) text -------------------------------------------------
+  {
+    IndentWriter w;
+    for (size_t li = 0; li < out.loops.size(); ++li) {
+      const LoopDim& l = out.loops[li];
+      w.line(fmt("for (%0 = %1; %0 < %2; %0 = %0 + %3) {", l.iv, l.begin, l.end, l.step));
+      w.indent();
+    }
+    for (const Stream& st : out.inputs) {
+      for (size_t i = 0; i < st.scalarNames.size(); ++i) {
+        std::string idx;
+        for (size_t d = 0; d < st.dims.size(); ++d) {
+          std::string term;
+          if (st.dimMap[d].loop >= 0) {
+            const std::string& iv = out.loops[static_cast<size_t>(st.dimMap[d].loop)].iv;
+            term = st.dimMap[d].coeff == 1 ? iv : fmt("%0*%1", st.dimMap[d].coeff, iv);
+          }
+          if (st.offsets[i][d] != 0) {
+            term += (term.empty() ? fmt("%0", st.offsets[i][d]) : fmt("+%0", st.offsets[i][d]));
+          }
+          if (term.empty()) term = "0";
+          idx += "[" + term + "]";
+        }
+        w.line(fmt("%0 = %1%2;", st.scalarNames[i], st.arrayName, idx));
+      }
+    }
+    w.line(fmt("/* compute: see %0 */", out.dpName));
+    for (size_t li = 0; li < out.loops.size(); ++li) {
+      w.dedent();
+      w.line("}");
+    }
+    out.scalarReplacedText = w.str();
+  }
+
+  return !failed;
+}
+
+} // namespace roccc::hlir

@@ -1,0 +1,125 @@
+// Kernel extraction: turns a streaming loop nest into
+//   (1) the data-path function fed to the back end (paper Fig 3 (c) /
+//       Fig 4 (c)), with feedback variables annotated through
+//       ROCCC_load_prev / ROCCC_store2next,
+//   (2) the memory access pattern (window shape, stride, offsets) that
+//       drives smart-buffer and address-generator generation (section 4.1),
+//   (3) the loop structure the controller implements.
+//
+// This is the compiler's "scalar replacement" + front-end dataflow analysis
+// stage (sections 4.1, 4.2.1).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "frontend/ast.hpp"
+#include "support/diag.hpp"
+
+namespace roccc::hlir {
+
+/// One counted loop of the nest, outermost first.
+struct LoopDim {
+  std::string iv;
+  int64_t begin = 0;
+  int64_t end = 0; ///< exclusive
+  int64_t step = 1;
+
+  int64_t trips() const { return (end - begin + step - 1) / step; }
+};
+
+/// How one array dimension's index depends on the loop nest:
+/// index = coeff * loops[loop].iv + (per-access offset); loop == -1 means
+/// the dimension's base is constant 0 (offset carries the whole index).
+struct DimMap {
+  int loop = -1;
+  int64_t coeff = 0;
+};
+
+/// A streaming array access pattern: the window of elements touched per
+/// iteration and how its base address advances.
+struct Stream {
+  std::string arrayName;
+  ScalarType elemType;
+  std::vector<int64_t> dims;                ///< array dimensions
+  std::vector<DimMap> dimMap;               ///< per array dimension
+  std::vector<std::vector<int64_t>> offsets; ///< per access, per array dimension
+  std::vector<std::string> scalarNames;     ///< data-path scalar name per access
+
+  int accessCount() const { return static_cast<int>(offsets.size()); }
+  /// Window extent along array dimension d (max offset - min offset + 1).
+  int64_t extent(size_t d) const;
+  int64_t minOffset(size_t d) const;
+  /// Elements the window base advances per innermost-loop iteration along
+  /// dimension d (coeff * loop step), 0 if the dimension is not driven by
+  /// the innermost loop.
+  int64_t strideForLoop(size_t d, const std::vector<LoopDim>& loops, int loop) const;
+  /// Row-major flat address of access `a` at the given iteration point.
+  int64_t flatAddress(size_t a, const std::vector<int64_t>& ivs) const;
+};
+
+/// A scalar carried across iterations (paper Fig 4): hardware keeps it in a
+/// feedback register written by SNX and read by LPR.
+struct Feedback {
+  std::string name;      ///< variable name in the data-path module
+  ScalarType type;
+  int64_t initial = 0;   ///< register reset value
+  std::string exportedTo; ///< out-param receiving the final value ("" if none)
+};
+
+/// A loop-invariant scalar input to the data path (kernel scalar parameter),
+/// or the live induction-variable value when the body uses it numerically.
+struct ScalarInput {
+  std::string name;
+  ScalarType type;
+  bool isInduction = false;
+  int loop = -1; ///< which loop's iv when isInduction
+};
+
+/// A scalar out-parameter written by the data path each iteration; the
+/// run-time value after the last iteration is the kernel result.
+struct ScalarOutput {
+  std::string name;
+  ScalarType type;
+};
+
+/// Everything later stages need, produced by extractKernel().
+struct KernelInfo {
+  std::string kernelName;
+  std::string dpName; ///< data-path function, "<kernel>_dp"
+  /// Self-contained module holding the data-path function, feedback
+  /// globals, and any const lookup tables it references.
+  ast::Module dpModule;
+  std::vector<LoopDim> loops; ///< outermost first
+  std::vector<Stream> inputs;
+  std::vector<Stream> outputs;
+  std::vector<Feedback> feedbacks;
+  std::vector<ScalarInput> scalarInputs;
+  std::vector<ScalarOutput> scalarOutputs;
+  /// The kernel after scalar replacement, in the paper's Fig 3 (b) form
+  /// (for documentation/benches; semantically equal to the original).
+  std::string scalarReplacedText;
+
+  int64_t totalIterations() const {
+    int64_t n = 1;
+    for (const auto& l : loops) n *= l.trips();
+    return n;
+  }
+  const ast::Function& dpFunction() const { return *dpModule.findFunction(dpName); }
+};
+
+/// Extracts the kernel `fnName` from `m`. `m` must have passed analyze().
+/// On failure returns false and reports diagnostics; `out` is unspecified.
+bool extractKernel(const ast::Module& m, const std::string& fnName, KernelInfo& out, DiagEngine& diags);
+
+/// Result of linear (affine) index analysis: expr == sum(coeff[v]*v) + c.
+struct AffineForm {
+  std::vector<std::pair<const ast::VarDecl*, int64_t>> terms;
+  int64_t constant = 0;
+  bool valid = false;
+};
+/// Decomposes an index expression into an affine form over variables; used
+/// by extraction and unit-tested directly.
+AffineForm analyzeAffine(const ast::Expr& e);
+
+} // namespace roccc::hlir

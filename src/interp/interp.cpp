@@ -1,0 +1,385 @@
+#include "interp/interp.hpp"
+
+#include <cassert>
+
+#include "support/cosrom.hpp"
+#include "support/strings.hpp"
+
+namespace roccc::interp {
+
+using namespace roccc::ast;
+
+namespace {
+
+/// Control-flow signal for 'return;'.
+struct ReturnSignal {};
+
+} // namespace
+
+int64_t cosSinLookupReference(int index, bool sine) { return cosRomEntry(index, sine); }
+
+struct Interpreter::Frame {
+  const Function* fn = nullptr;
+  /// Scalar values by declaration.
+  std::map<const VarDecl*, Value> scalars;
+  /// Array storage by declaration (element Values, row-major).
+  std::map<const VarDecl*, std::vector<Value>*> arrays;
+  /// Out-param bindings: writing '*p' writes the caller's variable.
+  std::map<const VarDecl*, Value*> outParams;
+  Frame* parent = nullptr;
+};
+
+void Interpreter::bumpStep(SourceLoc loc) {
+  if (++steps_ > stepLimit_) {
+    throw InterpError{loc, fmt("step limit %0 exceeded (runaway loop?)", stepLimit_)};
+  }
+}
+
+KernelIO Interpreter::run(const std::string& fnName, const KernelIO& io) {
+  const Function* fn = module_.findFunction(fnName);
+  if (!fn) throw InterpError{{}, fmt("no function named '%0'", fnName)};
+  steps_ = 0;
+
+  // Array backing stores, keyed by name: kernel parameters and globals.
+  std::map<std::string, std::vector<Value>> arrayStore;
+  Frame frame;
+  frame.fn = fn;
+
+  auto bindArray = [&](const VarDecl& d) {
+    auto& store = arrayStore[d.name];
+    const auto it = io.arrays.find(d.name);
+    const int64_t n = d.type.elementCount();
+    store.assign(static_cast<size_t>(n), Value(d.type.scalar, 0));
+    if (it != io.arrays.end()) {
+      if (static_cast<int64_t>(it->second.size()) != n) {
+        throw InterpError{d.loc, fmt("array '%0' expects %1 elements, %2 bound", d.name, n,
+                                     it->second.size())};
+      }
+      for (int64_t i = 0; i < n; ++i) store[static_cast<size_t>(i)] = Value::fromInt(d.type.scalar, it->second[static_cast<size_t>(i)]);
+    } else if (!d.init.empty()) {
+      for (int64_t i = 0; i < n && i < static_cast<int64_t>(d.init.size()); ++i)
+        store[static_cast<size_t>(i)] = Value::fromInt(d.type.scalar, d.init[static_cast<size_t>(i)]);
+    }
+    frame.arrays[&d] = &store;
+  };
+
+  for (const auto& g : module_.globals) {
+    if (g.type.isArray()) {
+      bindArray(g);
+    } else {
+      // io.scalars may override a global scalar's initial value (used by the
+      // per-iteration data-path cosimulation to thread feedback state).
+      const auto it = io.scalars.find(g.name);
+      const int64_t init = it != io.scalars.end() ? it->second : (g.init.empty() ? 0 : g.init[0]);
+      frame.scalars[&g] = Value::fromInt(g.type.scalar, init);
+    }
+  }
+
+  // Out-scalar results live here until copied into the returned KernelIO.
+  std::map<std::string, Value> outScalars;
+  for (const auto& p : fn->params) {
+    if (p.type.isArray()) {
+      bindArray(p);
+    } else if (p.mode == ParamMode::Out) {
+      outScalars.emplace(p.name, Value(p.type.scalar, 0));
+      frame.outParams[&p] = &outScalars.at(p.name);
+    } else {
+      const auto it = io.scalars.find(p.name);
+      if (it == io.scalars.end()) throw InterpError{p.loc, fmt("scalar input '%0' not bound", p.name)};
+      frame.scalars[&p] = Value::fromInt(p.type.scalar, it->second);
+    }
+  }
+
+  try {
+    execBlockInCurrentScope(*fn->body, frame);
+  } catch (const ReturnSignal&) {
+    // normal early return
+  }
+
+  KernelIO out;
+  for (const auto& [name, v] : outScalars) out.scalars[name] = v.toInt();
+  for (const auto& [name, store] : arrayStore) {
+    auto& vec = out.arrays[name];
+    vec.reserve(store.size());
+    for (const Value& v : store) vec.push_back(v.toInt());
+  }
+  // Global scalars (e.g. the accumulator's 'int sum') are also reported.
+  for (const auto& g : module_.globals) {
+    if (!g.type.isArray()) out.scalars[g.name] = frame.scalars.at(&g).toInt();
+  }
+  return out;
+}
+
+void Interpreter::execBlockInCurrentScope(const BlockStmt& b, Frame& f) {
+  for (const auto& s : b.stmts) execStmt(*s, f);
+}
+
+void Interpreter::execStmt(const Stmt& s, Frame& f) {
+  bumpStep(s.loc);
+  switch (s.kind) {
+    case StmtKind::Block:
+      execBlockInCurrentScope(static_cast<const BlockStmt&>(s), f);
+      break;
+    case StmtKind::Decl: {
+      const auto& d = static_cast<const DeclStmt&>(s);
+      if (d.var.type.isArray()) {
+        throw InterpError{d.loc, "local arrays are not part of the ROCCC subset"};
+      }
+      Value init(d.var.type.scalar, 0);
+      if (d.init) init = evalExpr(*d.init, f).convertTo(d.var.type.scalar);
+      f.scalars[&d.var] = init;
+      break;
+    }
+    case StmtKind::Assign: {
+      const auto& a = static_cast<const AssignStmt&>(s);
+      const Value v = evalExpr(*a.value, f);
+      const VarDecl* d = a.target.decl;
+      if (!d) throw InterpError{a.loc, fmt("unresolved assignment target '%0' (module not analyzed?)", a.target.name)};
+      switch (a.target.kind) {
+        case LValue::Kind::Var:
+          f.scalars[d] = v.convertTo(d->type.scalar);
+          break;
+        case LValue::Kind::Deref: {
+          auto it = f.outParams.find(d);
+          if (it == f.outParams.end()) throw InterpError{a.loc, fmt("'*%0' has no binding", d->name)};
+          *it->second = v.convertTo(d->type.scalar);
+          break;
+        }
+        case LValue::Kind::ArrayElem: {
+          auto it = f.arrays.find(d);
+          if (it == f.arrays.end()) throw InterpError{a.loc, fmt("array '%0' has no storage", d->name)};
+          int64_t flat = 0;
+          for (size_t i = 0; i < a.target.indices.size(); ++i) {
+            const int64_t idx = evalExpr(*a.target.indices[i], f).toInt();
+            if (idx < 0 || idx >= d->type.dims[i]) {
+              throw InterpError{a.loc, fmt("index %0 out of bounds [0, %1) for '%2'", idx,
+                                           d->type.dims[i], d->name)};
+            }
+            flat = flat * d->type.dims[i] + idx;
+          }
+          (*it->second)[static_cast<size_t>(flat)] = v.convertTo(d->type.scalar);
+          break;
+        }
+      }
+      break;
+    }
+    case StmtKind::If: {
+      const auto& i = static_cast<const IfStmt&>(s);
+      if (evalExpr(*i.cond, f).toBool()) {
+        execStmt(*i.thenBody, f);
+      } else if (i.elseBody) {
+        execStmt(*i.elseBody, f);
+      }
+      break;
+    }
+    case StmtKind::For: {
+      const auto& l = static_cast<const ForStmt&>(s);
+      const int64_t begin = evalExpr(*l.begin, f).toInt();
+      const int64_t end = evalExpr(*l.end, f).toInt();
+      for (int64_t i = begin; i < end; i += l.step) {
+        bumpStep(l.loc);
+        f.scalars[l.inductionDecl] = Value::ofInt(i);
+        execStmt(*l.body, f);
+      }
+      break;
+    }
+    case StmtKind::Return:
+      throw ReturnSignal{}; // unwound by callFunction / run
+    case StmtKind::CallStmt: {
+      const auto& c = static_cast<const CallStmt&>(s);
+      const auto& call = static_cast<const CallExpr&>(*c.call);
+      if (intrinsics::isIntrinsic(call.callee)) {
+        evalIntrinsic(call, f);
+      } else {
+        const Function* callee = module_.findFunction(call.callee);
+        assert(callee);
+        std::vector<const Expr*> args;
+        for (const auto& a : call.args) args.push_back(a.get());
+        callFunction(*callee, args, f);
+      }
+      break;
+    }
+  }
+}
+
+void Interpreter::callFunction(const Function& fn, const std::vector<const Expr*>& args, Frame& caller) {
+  Frame frame;
+  frame.fn = &fn;
+  frame.parent = &caller;
+  // Globals (incl. arrays) are visible through the caller chain; copy the
+  // root bindings down. Scalars are per-frame.
+  Frame* root = &caller;
+  while (root->parent) root = root->parent;
+  frame.arrays = root->arrays;
+  for (const auto& [d, v] : root->scalars) {
+    if (d->storage == Storage::Global) frame.scalars[d] = v;
+  }
+
+  std::vector<std::pair<const VarDecl*, const VarDecl*>> outBindings; // callee param -> caller var
+  for (size_t i = 0; i < fn.params.size(); ++i) {
+    const VarDecl& p = fn.params[i];
+    if (p.type.isArray()) {
+      throw InterpError{p.loc, "array arguments to user calls are not supported (inline the callee)"};
+    }
+    if (p.mode == ParamMode::Out) {
+      const auto& v = static_cast<const VarRefExpr&>(*args[i]);
+      outBindings.emplace_back(&p, v.decl);
+      frame.outParams[&p] = nullptr; // filled after we know where to write
+    } else {
+      frame.scalars[&p] = evalExpr(*args[i], caller).convertTo(p.type.scalar);
+    }
+  }
+  // Out-params write into temporaries, copied back at return.
+  std::map<const VarDecl*, Value> outTmp;
+  for (auto& [p, callerVar] : outBindings) {
+    outTmp[p] = Value(p->type.scalar, 0);
+    frame.outParams[p] = &outTmp[p];
+    (void)callerVar;
+  }
+
+  try {
+    execBlockInCurrentScope(*fn.body, frame);
+  } catch (const ReturnSignal&) {
+    // return statement
+  }
+
+  for (auto& [p, callerVar] : outBindings) {
+    caller.scalars[callerVar] = outTmp[p].convertTo(callerVar->type.scalar);
+  }
+  // Writes to global scalars propagate back.
+  for (const auto& [d, v] : frame.scalars) {
+    if (d->storage == Storage::Global) caller.scalars[d] = v;
+  }
+}
+
+Value Interpreter::evalIntrinsic(const CallExpr& c, Frame& f) {
+  const std::string& n = c.callee;
+  if (n == intrinsics::kLoadPrev) {
+    // In software semantics, the "previous" value is simply the variable's
+    // current value at this point of the iteration (Fig 4 b vs c).
+    const auto& v = static_cast<const VarRefExpr&>(*c.args[0]);
+    return evalExpr(v, f);
+  }
+  if (n == intrinsics::kStoreNext) {
+    const auto& target = static_cast<const VarRefExpr&>(*c.args[0]);
+    const Value v = evalExpr(*c.args[1], f);
+    // Walk out to the frame that owns the variable (globals live in the
+    // current frame copy; locals in this frame).
+    f.scalars[target.decl] = v.convertTo(target.decl->type.scalar);
+    return v;
+  }
+  if (n == intrinsics::kCos || n == intrinsics::kSin) {
+    const Value idx = evalExpr(*c.args[0], f);
+    return Value::fromInt(c.type, cosRomEntry(static_cast<int>(idx.toUnsigned() & 1023), n == intrinsics::kSin));
+  }
+  if (n == intrinsics::kLookup) {
+    const auto& t = static_cast<const VarRefExpr&>(*c.args[0]);
+    const Value idx = evalExpr(*c.args[1], f);
+    const auto& init = t.decl->init;
+    const uint64_t i = idx.toUnsigned();
+    if (i >= init.size()) {
+      throw InterpError{c.loc, fmt("lookup index %0 out of range for '%1' (%2 entries)", i, t.name, init.size())};
+    }
+    return Value::fromInt(c.type, init[i]);
+  }
+  if (n == intrinsics::kBitSelect) {
+    const Value v = evalExpr(*c.args[0], f);
+    const int64_t lo = *evalConstant(*c.args[2]);
+    return Value(c.type, v.toUnsigned() >> lo);
+  }
+  if (n == intrinsics::kBitConcat) {
+    const Value a = evalExpr(*c.args[0], f);
+    const Value b = evalExpr(*c.args[1], f);
+    return Value(c.type, (a.toUnsigned() << b.width()) | b.toUnsigned());
+  }
+  throw InterpError{c.loc, fmt("unknown intrinsic '%0'", n)};
+}
+
+Value Interpreter::evalExpr(const Expr& e, Frame& f) {
+  switch (e.kind) {
+    case ExprKind::IntLit:
+      return Value::fromInt(e.type, static_cast<const IntLitExpr&>(e).value);
+    case ExprKind::VarRef: {
+      const auto& v = static_cast<const VarRefExpr&>(e);
+      const auto it = f.scalars.find(v.decl);
+      if (it == f.scalars.end()) throw InterpError{e.loc, fmt("read of uninitialized '%0'", v.name)};
+      return it->second;
+    }
+    case ExprKind::ArrayRef: {
+      const auto& a = static_cast<const ArrayRefExpr&>(e);
+      const auto it = f.arrays.find(a.decl);
+      if (it == f.arrays.end()) throw InterpError{e.loc, fmt("array '%0' has no storage", a.name)};
+      int64_t flat = 0;
+      for (size_t i = 0; i < a.indices.size(); ++i) {
+        const int64_t idx = evalExpr(*a.indices[i], f).toInt();
+        if (idx < 0 || idx >= a.decl->type.dims[i]) {
+          throw InterpError{e.loc, fmt("index %0 out of bounds [0, %1) for '%2'", idx,
+                                       a.decl->type.dims[i], a.name)};
+        }
+        flat = flat * a.decl->type.dims[i] + idx;
+      }
+      return (*it->second)[static_cast<size_t>(flat)];
+    }
+    case ExprKind::Unary: {
+      const auto& u = static_cast<const UnaryExpr&>(e);
+      const Value v = evalExpr(*u.operand, f);
+      switch (u.op) {
+        case UnOp::Neg: return ops::neg(v, e.type);
+        case UnOp::BitNot: return ops::bitNot(v, e.type);
+        case UnOp::LogicalNot: return Value::ofBool(!v.toBool());
+      }
+      break;
+    }
+    case ExprKind::Binary: {
+      const auto& b = static_cast<const BinaryExpr&>(e);
+      // Short-circuit forms first.
+      if (b.op == BinOp::LAnd) {
+        if (!evalExpr(*b.lhs, f).toBool()) return Value::ofBool(false);
+        return Value::ofBool(evalExpr(*b.rhs, f).toBool());
+      }
+      if (b.op == BinOp::LOr) {
+        if (evalExpr(*b.lhs, f).toBool()) return Value::ofBool(true);
+        return Value::ofBool(evalExpr(*b.rhs, f).toBool());
+      }
+      const Value l = evalExpr(*b.lhs, f);
+      const Value r = evalExpr(*b.rhs, f);
+      switch (b.op) {
+        case BinOp::Add: return ops::add(l, r, e.type);
+        case BinOp::Sub: return ops::sub(l, r, e.type);
+        case BinOp::Mul: return ops::mul(l, r, e.type);
+        case BinOp::Div: return ops::divide(l, r, e.type);
+        case BinOp::Rem: return ops::rem(l, r, e.type);
+        case BinOp::And: return ops::bitAnd(l, r, e.type);
+        case BinOp::Or: return ops::bitOr(l, r, e.type);
+        case BinOp::Xor: return ops::bitXor(l, r, e.type);
+        case BinOp::Shl: return ops::shl(l, r, e.type);
+        case BinOp::Shr: return ops::shr(l, r, e.type);
+        case BinOp::Eq: return ops::cmpEq(l, r);
+        case BinOp::Ne: return ops::cmpNe(l, r);
+        case BinOp::Lt: return ops::cmpLt(l, r);
+        case BinOp::Le: return ops::cmpLe(l, r);
+        case BinOp::Gt: return ops::cmpGt(l, r);
+        case BinOp::Ge: return ops::cmpGe(l, r);
+        default: break;
+      }
+      break;
+    }
+    case ExprKind::Cast: {
+      const auto& c = static_cast<const CastExpr&>(e);
+      return evalExpr(*c.operand, f).convertTo(c.type);
+    }
+    case ExprKind::Call: {
+      const auto& c = static_cast<const CallExpr&>(e);
+      if (intrinsics::isIntrinsic(c.callee)) return evalIntrinsic(c, f);
+      throw InterpError{e.loc, fmt("call to '%0' in expression position is not supported (calls are statements)", c.callee)};
+    }
+  }
+  throw InterpError{e.loc, "unhandled expression"};
+}
+
+KernelIO runKernel(const ast::Module& m, const std::string& fnName, const KernelIO& io) {
+  Interpreter i(m);
+  return i.run(fnName, io);
+}
+
+} // namespace roccc::interp

@@ -1,0 +1,72 @@
+// AST interpreter — the software golden model.
+//
+// Paper section 4.2.2 observes that the soft nodes "will have the same
+// behavior on a CPU compared with the whole data path on a FPGA"; every
+// hardware result in this repository is validated against this interpreter
+// (hardware/software cosimulation).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "frontend/ast.hpp"
+#include "support/diag.hpp"
+#include "support/value.hpp"
+
+namespace roccc::interp {
+
+/// Named scalar and array bindings for one kernel invocation. Array values
+/// are stored as plain int64 and converted to the element type on access.
+struct KernelIO {
+  std::map<std::string, int64_t> scalars;
+  std::map<std::string, std::vector<int64_t>> arrays;
+};
+
+/// Thrown on semantic violations the front end cannot catch statically
+/// (out-of-bounds dynamic index, unbound array, step-limit exceeded).
+struct InterpError {
+  SourceLoc loc;
+  std::string message;
+};
+
+class Interpreter {
+ public:
+  explicit Interpreter(const ast::Module& module, uint64_t stepLimit = 100'000'000)
+      : module_(module), stepLimit_(stepLimit) {}
+
+  /// Executes `fnName` with inputs bound from `io` (scalars by param name,
+  /// arrays by param or global name). Returns the final state of all
+  /// out-scalars and arrays. Const global arrays are implicitly available.
+  KernelIO run(const std::string& fnName, const KernelIO& io);
+
+  /// Number of statements executed by the last run (used by the profiling
+  /// example to find hot kernels, ref [10]).
+  uint64_t stepsExecuted() const { return steps_; }
+
+ private:
+  struct Frame;
+
+  const ast::Module& module_;
+  uint64_t stepLimit_;
+  uint64_t steps_ = 0;
+
+  Value evalExpr(const ast::Expr& e, Frame& f);
+  void execStmt(const ast::Stmt& s, Frame& f);
+  void execBlockInCurrentScope(const ast::BlockStmt& b, Frame& f);
+  void callFunction(const ast::Function& fn, const std::vector<const ast::Expr*>& args, Frame& caller);
+  Value evalIntrinsic(const ast::CallExpr& c, Frame& f);
+
+  void bumpStep(SourceLoc loc);
+};
+
+/// One-call convenience wrapper.
+KernelIO runKernel(const ast::Module& m, const std::string& fnName, const KernelIO& io);
+
+/// Reference content of the pre-existing cos/sin lookup-table IP (10-bit
+/// phase, Q15 output). The RTL ROM primitive and the interpreter both use
+/// this single definition so cosimulation stays bit-exact.
+int64_t cosSinLookupReference(int index, bool sine);
+
+} // namespace roccc::interp

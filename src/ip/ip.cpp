@@ -1,0 +1,406 @@
+#include "ip/ip.hpp"
+
+#include <cmath>
+
+#include "support/cosrom.hpp"
+#include "support/strings.hpp"
+
+namespace roccc::ip {
+
+using rtl::CellKind;
+using rtl::Module;
+
+const std::vector<PaperRow>& paperTable1() {
+  static const std::vector<PaperRow> kRows = {
+      {"bit_correlator", 212, 9, 144, 19},
+      {"mul_acc", 238, 18, 238, 59},
+      {"udiv", 216, 144, 272, 495},
+      {"square_root", 167, 585, 220, 1199},
+      {"cos", 170, 150, 170, 150},
+      {"arbitrary_lut", 170, 549, 170, 549},
+      {"fir", 185, 270, 194, 293},
+      {"dct", 181, 412, 133, 724},
+      {"wavelet", 104, 1464, 101, 2415},
+  };
+  return kRows;
+}
+
+namespace {
+
+/// Builder helpers over a Module.
+struct B {
+  Module& m;
+
+  int net(int width, bool isSigned, const std::string& name) {
+    return m.addNet(ScalarType::make(width, isSigned), name);
+  }
+  int in(int width, bool isSigned, const std::string& name) {
+    const int n = net(width, isSigned, name);
+    m.inputPorts.push_back(n);
+    m.inputNames.push_back(name);
+    return n;
+  }
+  void out(int n, const std::string& name) {
+    m.outputPorts.push_back(n);
+    m.outputNames.push_back(name);
+  }
+  int cell(CellKind k, std::vector<int> ins, int width, bool isSigned, const std::string& name) {
+    const int o = net(width, isSigned, name);
+    m.addCell(k, std::move(ins), o);
+    return o;
+  }
+  int reg(int d, const std::string& name, int64_t init = 0) {
+    const ScalarType t = m.nets[static_cast<size_t>(d)].type;
+    const int o = m.addNet(t, name);
+    const int c = m.addCell(CellKind::Reg, {d}, o);
+    m.cells[static_cast<size_t>(c)].imm = init;
+    return o;
+  }
+  int konst(int64_t v, int width, bool isSigned = false) {
+    return m.addConst(v, ScalarType::make(width, isSigned));
+  }
+  int slice(int src, int hi, int lo, const std::string& name) {
+    const int o = net(hi - lo + 1, false, name);
+    const int c = m.addCell(CellKind::Slice, {src}, o);
+    m.cells[static_cast<size_t>(c)].aux0 = hi;
+    m.cells[static_cast<size_t>(c)].aux1 = lo;
+    return o;
+  }
+  int cat(int hiNet, int loNet, const std::string& name) {
+    const int w = m.nets[static_cast<size_t>(hiNet)].type.width + m.nets[static_cast<size_t>(loNet)].type.width;
+    return cell(CellKind::Concat, {hiNet, loNet}, w, false, name);
+  }
+  int resize(int src, int width, bool isSigned, const std::string& name) {
+    return cell(CellKind::Resize, {src}, width, isSigned, name);
+  }
+  int rom(const std::vector<int64_t>& data, int addr, int width, bool isSigned,
+          const std::string& name) {
+    const int o = net(width, isSigned, name);
+    const int c = m.addCell(CellKind::Rom, {addr}, o);
+    m.cells[static_cast<size_t>(c)].romData = data;
+    m.cells[static_cast<size_t>(c)].romElemType = ScalarType::make(width, isSigned);
+    m.cells[static_cast<size_t>(c)].romName = name;
+    return o;
+  }
+};
+
+/// x * c as a pipelet of CSD shift-adds at width W (signed).
+int csdMultiply(B& b, int x, int64_t c, int W, const std::string& tag) {
+  const bool neg = c < 0;
+  if (neg) c = -c;
+  if (c == 0) return b.konst(0, W, true);
+  int acc = -1;
+  int64_t rem = c;
+  int pos = 0;
+  int term = 0;
+  while (rem != 0) {
+    if (rem & 1) {
+      const int digit = 2 - static_cast<int>(rem & 3);
+      const int shifted =
+          pos == 0 ? b.resize(x, W, true, fmt("%0_sh%1", tag, pos))
+                   : b.cell(CellKind::Shl, {b.resize(x, W, true, fmt("%0_x%1", tag, pos)),
+                                            b.konst(pos, 6)},
+                            W, true, fmt("%0_sh%1", tag, pos));
+      if (acc < 0) {
+        acc = digit > 0 ? shifted : b.cell(CellKind::Neg, {shifted}, W, true, fmt("%0_n%1", tag, pos));
+      } else {
+        acc = b.cell(digit > 0 ? CellKind::Add : CellKind::Sub, {acc, shifted}, W, true,
+                     fmt("%0_a%1", tag, pos));
+      }
+      rem -= digit;
+      ++term;
+    }
+    rem >>= 1;
+    ++pos;
+  }
+  (void)term;
+  if (neg) acc = b.cell(CellKind::Neg, {acc}, W, true, tag + "_neg");
+  return acc;
+}
+
+} // namespace
+
+// ---------------------------------------------------------------------------
+
+rtl::Module buildBitCorrelator(uint8_t mask) {
+  Module m;
+  m.name = "ip_bit_correlator";
+  B b{m};
+  const int x = b.in(8, false, "x");
+  // XNOR against the constant folds into the popcount LUTs; model as a
+  // single Xor with ~mask (one LUT level) feeding a 3:2 compressor tree.
+  const int inv = b.cell(CellKind::Xor, {x, b.konst(static_cast<uint8_t>(~mask), 8)}, 8, false, "match");
+  // Pairwise adds of bit slices.
+  std::vector<int> layer;
+  for (int i = 0; i < 8; i += 2) {
+    const int s0 = b.slice(inv, i, i, fmt("b%0", i));
+    const int s1 = b.slice(inv, i + 1, i + 1, fmt("b%0", i + 1));
+    layer.push_back(b.cell(CellKind::Add, {b.resize(s0, 2, false, fmt("w%0", i)),
+                                           b.resize(s1, 2, false, fmt("w%0", i + 1))},
+                           2, false, fmt("p%0", i / 2)));
+  }
+  while (layer.size() > 1) {
+    std::vector<int> next;
+    for (size_t i = 0; i + 1 < layer.size(); i += 2) {
+      const int w = m.nets[static_cast<size_t>(layer[i])].type.width + 1;
+      next.push_back(b.cell(CellKind::Add,
+                            {b.resize(layer[i], w, false, fmt("e%0_%1", layer.size(), i)),
+                             b.resize(layer[i + 1], w, false, fmt("f%0_%1", layer.size(), i))},
+                            w, false, fmt("s%0_%1", layer.size(), i)));
+    }
+    if (layer.size() % 2) next.push_back(layer.back());
+    layer = std::move(next);
+  }
+  const int count = b.reg(b.resize(layer[0], 4, false, "count_c"), "count_r");
+  b.out(count, "count");
+  m.latency = 1;
+  return m;
+}
+
+rtl::Module buildMulAcc() {
+  Module m;
+  m.name = "ip_mul_acc";
+  B b{m};
+  const int a = b.in(12, true, "a");
+  const int x = b.in(12, true, "b");
+  // MULT18X18 with a product register, then the accumulator. The IP's 'nd'
+  // port maps to the FF clock-enable (the module-global CE) — zero fabric.
+  const int prod = b.cell(CellKind::Mul, {a, x}, 24, true, "prod");
+  const int prodR = b.reg(prod, "prod_r");
+  const int accNext = b.net(32, true, "acc_next");
+  const int accR = b.reg(accNext, "acc_r");
+  {
+    const int widened = b.resize(prodR, 32, true, "prod_w");
+    m.addCell(CellKind::Add, {widened, accR}, accNext);
+  }
+  b.out(accR, "acc");
+  m.latency = 2;
+  return m;
+}
+
+rtl::Module buildUdiv8() {
+  Module m;
+  m.name = "ip_udiv8";
+  B b{m};
+  const int n = b.in(8, false, "n");
+  const int d = b.in(8, false, "d");
+  // Pipelined restoring rows. Row k consumes the dividend bit (7-k).
+  int nPipe = n;
+  int dPipe = d;
+  int r = b.konst(0, 8);
+  std::vector<int> qBits;
+  for (int k = 7; k >= 0; --k) {
+    const int bit = b.slice(nPipe, k, k, fmt("nb%0", k));
+    const int rsh = b.cat(b.resize(r, 8, false, fmt("rw%0", k)), bit, fmt("rsh%0", k)); // 9 bits
+    const int dw = b.resize(dPipe, 9, false, fmt("dw%0", k));
+    const int ge = b.cell(CellKind::Ge, {rsh, dw}, 1, false, fmt("ge%0", k));
+    const int diff = b.cell(CellKind::Sub, {rsh, dw}, 9, false, fmt("df%0", k));
+    const int sel = b.cell(CellKind::Mux, {ge, diff, rsh}, 9, false, fmt("rm%0", k));
+    // Stage registers: remainder, quotient bit, and the forwarded operands.
+    r = b.reg(b.resize(sel, 8, false, fmt("rn%0", k)), fmt("r_r%0", k));
+    qBits.push_back(b.reg(ge, fmt("q_r%0", k)));
+    // Quotient bits already produced ride along one more stage so all
+    // eight emerge aligned after the last row.
+    for (auto& q : qBits) {
+      if (q != qBits.back()) q = b.reg(q, fmt("q%0_r%1", &q - qBits.data(), k));
+    }
+    if (k > 0) {
+      nPipe = b.reg(nPipe, fmt("n_r%0", k));
+      dPipe = b.reg(dPipe, fmt("d_r%0", k));
+    }
+  }
+  // Assemble q (qBits[0] is the MSB).
+  int q = qBits[0];
+  for (size_t i = 1; i < qBits.size(); ++i) q = b.cat(q, qBits[i], fmt("qcat%0", i));
+  b.out(q, "q");
+  m.latency = 8;
+  return m;
+}
+
+rtl::Module buildSquareRoot24() {
+  Module m;
+  m.name = "ip_sqrt24";
+  B b{m};
+  const int x = b.in(24, false, "x");
+  // Digit-recurrence: 12 pipelined stages; stage k decides result bit
+  // (11-k) by trial subtraction of (root | 1<<k)^2 ... implemented in the
+  // classical shift-based form over a 26-bit partial remainder.
+  int rem = b.konst(0, 26);
+  int root = b.konst(0, 13);
+  int xPipe = x;
+  for (int k = 11; k >= 0; --k) {
+    // Bring down two bits of x.
+    const int two = b.slice(xPipe, 2 * k + 1, 2 * k, fmt("x2_%0", k));
+    const int remSh = b.cat(b.resize(rem, 24, false, fmt("rs%0", k)), two, fmt("rin%0", k)); // 26
+    // Trial: t = (root << 2) | 1
+    const int rootSh = b.cell(CellKind::Shl, {b.resize(root, 26, false, fmt("rt%0", k)),
+                                              b.konst(2, 3)},
+                              26, false, fmt("r4_%0", k));
+    const int trial = b.cell(CellKind::Or, {rootSh, b.konst(1, 26)}, 26, false, fmt("tr%0", k));
+    const int ge = b.cell(CellKind::Ge, {remSh, trial}, 1, false, fmt("ge%0", k));
+    const int diff = b.cell(CellKind::Sub, {remSh, trial}, 26, false, fmt("df%0", k));
+    const int remSel = b.cell(CellKind::Mux, {ge, diff, remSh}, 26, false, fmt("rsel%0", k));
+    // root = (root << 1) | ge
+    const int rootNext = b.cat(b.resize(root, 12, false, fmt("rn%0", k)), ge, fmt("rc%0", k)); // 13
+    rem = b.reg(remSel, fmt("rem_r%0", k));
+    root = b.reg(rootNext, fmt("root_r%0", k));
+    if (k > 0) xPipe = b.reg(xPipe, fmt("x_r%0", k));
+  }
+  b.out(b.resize(root, 12, false, "root_out"), "r");
+  m.latency = 12;
+  return m;
+}
+
+rtl::Module buildCosLut() {
+  Module m;
+  m.name = "ip_cos";
+  B b{m};
+  const int phase = b.in(10, false, "phase");
+  // Half-wave storage (paper section 5: the Virtex-II cos/sin LUT "stores
+  // only half wave"): 512 x 16, with cos(x + pi) = -cos(x) reconstructing
+  // the second half exactly (truncation commutes with negation).
+  std::vector<int64_t> half;
+  for (int i = 0; i < 512; ++i) half.push_back(cosRomEntry(i, false));
+  const int addr = b.slice(phase, 8, 0, "addr_lo");
+  const int sgn = b.slice(phase, 9, 9, "half_sel");
+  const int raw = b.rom(half, addr, 16, true, "cos_rom_h");
+  const int negv = b.cell(CellKind::Neg, {raw}, 16, true, "neg");
+  const int out = b.reg(b.cell(CellKind::Mux, {sgn, negv, raw}, 16, true, "sel"), "c_r");
+  b.out(out, "c");
+  m.latency = 1;
+  return m;
+}
+
+rtl::Module buildArbitraryLut(const std::vector<int64_t>& contents) {
+  Module m;
+  m.name = "ip_arbitrary_lut";
+  B b{m};
+  const int phase = b.in(10, false, "addr");
+  std::vector<int64_t> data = contents;
+  data.resize(1024, 0);
+  const int raw = b.rom(data, phase, 16, true, "full_rom");
+  const int out = b.reg(raw, "d_r");
+  b.out(out, "d");
+  m.latency = 1;
+  return m;
+}
+
+rtl::Module buildFir5() {
+  Module m;
+  m.name = "ip_fir5";
+  B b{m};
+  static const int64_t kCoeff[5] = {3, 5, 7, 9, -1};
+  for (int f = 0; f < 2; ++f) {
+    const int x = b.in(8, true, fmt("x%0", f));
+    // Tap delay line.
+    std::vector<int> taps{x};
+    for (int t = 1; t < 5; ++t) taps.push_back(b.reg(taps.back(), fmt("f%0_tap%1", f, t)));
+    // Constant multipliers (shift-add DA style) + balanced adder tree with
+    // one pipeline register level.
+    std::vector<int> prods;
+    for (int t = 0; t < 5; ++t) {
+      prods.push_back(b.reg(
+          csdMultiply(b, taps[static_cast<size_t>(t)], kCoeff[t], 16, fmt("f%0_c%1", f, t)),
+          fmt("f%0_pr%1", f, t)));
+    }
+    const int s01 = b.cell(CellKind::Add, {prods[0], prods[1]}, 16, true, fmt("f%0_s01", f));
+    const int s23 = b.cell(CellKind::Add, {prods[2], prods[3]}, 16, true, fmt("f%0_s23", f));
+    const int s0123 = b.reg(b.cell(CellKind::Add, {s01, s23}, 16, true, fmt("f%0_s0123", f)),
+                            fmt("f%0_p1", f));
+    const int p4 = b.reg(prods[4], fmt("f%0_p4r", f));
+    const int y = b.reg(b.cell(CellKind::Add, {s0123, p4}, 16, true, fmt("f%0_y", f)),
+                        fmt("f%0_yr", f));
+    b.out(y, fmt("y%0", f));
+  }
+  m.latency = 3;
+  return m;
+}
+
+rtl::Module buildDct8() {
+  Module m;
+  m.name = "ip_dct8";
+  B b{m};
+  // ROM-accumulator distributed-arithmetic DCT: eight parallel MAC units
+  // (one per output coefficient), each a 64x12 coefficient ROM plus a
+  // 19-bit adder/accumulator, time-multiplexed over the 8 input samples so
+  // the engine sustains one output per clock (the Xilinx IP's rate).
+  const int xin = b.in(8, true, "x");
+  std::vector<int> xr{xin};
+  for (int i = 1; i < 8; ++i) xr.push_back(b.reg(xr.back(), fmt("x_r%0", i)));
+  const int cntNext = b.net(3, false, "cnt_next");
+  const int cnt = b.reg(cntNext, "cnt");
+  m.addCell(CellKind::Add, {cnt, b.konst(1, 3)}, cntNext);
+
+  int lastAcc = -1;
+  for (int k = 0; k < 8; ++k) {
+    std::vector<int64_t> rom;
+    for (int n = 0; n < 8; ++n) {
+      for (int rep = 0; rep < 8; ++rep) {
+        rom.push_back(static_cast<int64_t>(
+            std::lround(std::cos((2 * n + 1) * k * 3.14159265358979 / 16.0) * 1024)));
+      }
+    }
+    const int addr = b.cat(cnt, b.slice(xr[static_cast<size_t>(k)], 7, 5, fmt("xs%0", k)),
+                           fmt("a%0", k));
+    const int coef = b.rom(rom, b.resize(addr, 6, false, fmt("aw%0", k)), 12, true, fmt("rom%0", k));
+    const int prod = b.cell(CellKind::Add, {b.resize(coef, 19, true, fmt("cw%0", k)),
+                                            b.resize(xr[static_cast<size_t>(k)], 19, true, fmt("xw%0", k))},
+                            19, true, fmt("pp%0", k));
+    const int accNext = b.net(19, true, fmt("acc%0_next", k));
+    const int acc = b.reg(accNext, fmt("acc%0", k));
+    m.addCell(CellKind::Add, {prod, acc}, accNext);
+    lastAcc = acc;
+  }
+  // Output selector: one coefficient per clock.
+  const int y = b.reg(lastAcc, "y_r");
+  b.out(y, "y");
+  m.latency = 9;
+  return m;
+}
+
+rtl::Module buildWavelet53(int cols) {
+  Module m;
+  m.name = "ip_wavelet53";
+  B b{m};
+  const int x = b.in(16, true, "x");
+  // Two line buffers (FF-based shift lines) + the (5,3) lifting datapath:
+  //   predict: d = x1 - ((x0 + x2) >> 1)
+  //   update:  s = x0 + ((d_prev + d) + 2 >> 2)
+  // Horizontal stage uses 2-tap delay registers; vertical stage uses the
+  // line buffers. The handwritten engine keeps everything at 16 bits.
+  // Two line buffers: cols x 16 bits each. They advance on the pixel-valid
+  // strobe (a clock-enable), so they stay FF-based rather than collapsing
+  // into SRL16s — the (5,3) lifting form only needs TWO lines of storage
+  // (predict/update reuse), the hand design's edge over a naive 5-row
+  // window buffer.
+  const int pixValid = b.in(1, false, "pix_valid");
+  int prev = x;
+  for (int i = 0; i < 2 * cols; ++i) {
+    const ScalarType t16 = ScalarType::make(16, true);
+    const int o = b.m.addNet(t16, fmt("line_%0", i));
+    b.m.addCell(CellKind::Reg, {prev, pixValid}, o);
+    prev = o;
+  }
+  const int x0 = b.reg(x, "h_x0");
+  const int x1 = b.reg(x0, "h_x1");
+  const int x2 = b.reg(x1, "h_x2");
+  const int s02 = b.cell(CellKind::Add, {b.resize(x0, 17, true, "w0"), b.resize(x2, 17, true, "w2")},
+                         17, true, "s02");
+  const int half = b.cell(CellKind::Shr, {s02, b.konst(1, 2)}, 17, true, "half");
+  const int d1 = b.cell(CellKind::Sub, {b.resize(x1, 17, true, "w1"), half}, 17, true, "d");
+  const int dR = b.reg(d1, "d_r");
+  const int dRR = b.reg(dR, "d_rr");
+  const int dsum = b.cell(CellKind::Add, {dRR, dR}, 18, true, "dsum");
+  const int rounded = b.cell(CellKind::Add, {dsum, b.konst(2, 3)}, 18, true, "round");
+  const int upd = b.cell(CellKind::Shr, {rounded, b.konst(2, 3)}, 18, true, "upd");
+  const int s = b.cell(CellKind::Add, {b.resize(x0, 18, true, "w0b"), upd}, 18, true, "s");
+  const int sOut = b.reg(b.resize(s, 16, true, "s_n"), "s_out");
+  const int dOut = b.reg(b.resize(dR, 16, true, "d_n"), "d_out");
+  b.out(sOut, "s");
+  b.out(dOut, "d");
+  (void)prev;
+  m.latency = 2;
+  return m;
+}
+
+} // namespace roccc::ip

@@ -1,0 +1,417 @@
+#include "mir/lower.hpp"
+
+#include <cassert>
+#include <map>
+
+#include "support/cosrom.hpp"
+#include "support/strings.hpp"
+
+namespace roccc::mir {
+
+using namespace roccc::ast;
+
+namespace {
+
+class Lowerer {
+ public:
+  Lowerer(const Module& m, const Function& fn, FunctionIR& out, DiagEngine& diags)
+      : m_(m), fn_(fn), out_(out), diags_(diags) {}
+
+  bool run() {
+    out_.name = fn_.name;
+    // Params and their I/O port order: inputs first, then outputs, each in
+    // declaration order.
+    int inPort = 0, outPort = 0;
+    for (const auto& p : fn_.params) {
+      const bool isOut = p.mode == ParamMode::Out;
+      out_.params.push_back({p.name, p.type.scalar, isOut});
+      if (isOut) {
+        outPortOf_[&p] = outPort++;
+      } else {
+        inPortOf_[&p] = inPort++;
+      }
+    }
+    for (const auto& g : m_.globals) {
+      if (g.type.isArray()) {
+        if (g.isConst && !g.init.empty()) {
+          out_.tables.push_back({g.name, g.type.scalar, g.init});
+        }
+      } else {
+        out_.feedbacks.push_back({g.name, g.type.scalar, g.init.empty() ? 0 : g.init[0]});
+      }
+    }
+
+    cur_ = out_.addBlock();
+    // Input copies at the data-flow entry (section 4.2.2).
+    for (const auto& p : fn_.params) {
+      if (p.mode == ParamMode::Out) continue;
+      const int r = out_.newReg(p.type.scalar, p.name);
+      Instr in;
+      in.op = Opcode::In;
+      in.dst = r;
+      in.type = p.type.scalar;
+      in.aux0 = inPortOf_.at(&p);
+      in.loc = p.loc;
+      emit(std::move(in));
+      varReg_[&p] = r;
+    }
+
+    lowerBlockStmts(*fn_.body);
+    if (failed_) return false;
+
+    // Terminate.
+    Instr ret;
+    ret.op = Opcode::Ret;
+    emit(std::move(ret));
+
+    // Fill preds from succs.
+    for (const auto& b : out_.blocks) {
+      for (int s : b.succs) out_.blocks[static_cast<size_t>(s)].preds.push_back(b.id);
+    }
+    std::vector<std::string> errors;
+    if (!out_.verify(errors)) {
+      for (const auto& e : errors) diags_.error(fn_.loc, "lowering produced invalid MIR: " + e);
+      return false;
+    }
+    return true;
+  }
+
+ private:
+  const Module& m_;
+  const Function& fn_;
+  FunctionIR& out_;
+  DiagEngine& diags_;
+  int cur_ = 0;
+  bool failed_ = false;
+  std::map<const VarDecl*, int> varReg_;
+  std::map<const VarDecl*, int> inPortOf_, outPortOf_;
+
+  void fail(SourceLoc loc, std::string msg) {
+    diags_.error(loc, std::move(msg));
+    failed_ = true;
+  }
+
+  Block& block() { return out_.blocks[static_cast<size_t>(cur_)]; }
+
+  void emit(Instr in) { block().instrs.push_back(std::move(in)); }
+
+  int emitOp(Opcode op, ScalarType type, std::vector<Operand> srcs, SourceLoc loc,
+             const std::string& debugName = "") {
+    Instr in;
+    in.op = op;
+    in.dst = out_.newReg(type, debugName);
+    in.type = type;
+    in.srcs = std::move(srcs);
+    in.loc = loc;
+    const int r = in.dst;
+    emit(std::move(in));
+    return r;
+  }
+
+  /// Variable register, creating it on first write.
+  int regFor(const VarDecl* d) {
+    const auto it = varReg_.find(d);
+    if (it != varReg_.end()) return it->second;
+    const int r = out_.newReg(d->type.scalar, d->name);
+    varReg_[d] = r;
+    return r;
+  }
+
+  void assignVar(const VarDecl* d, int valueReg, SourceLoc loc) {
+    Instr mv;
+    mv.op = Opcode::Mov;
+    mv.dst = regFor(d);
+    mv.type = d->type.scalar;
+    mv.srcs = {Operand::ofReg(valueReg)};
+    mv.loc = loc;
+    emit(std::move(mv));
+  }
+
+  // --- expressions ------------------------------------------------------
+
+  int lowerExpr(const Expr& e) {
+    switch (e.kind) {
+      case ExprKind::IntLit: {
+        Instr ld;
+        ld.op = Opcode::Ldc;
+        ld.dst = out_.newReg(e.type, "");
+        ld.type = e.type;
+        ld.imm = static_cast<const IntLitExpr&>(e).value;
+        ld.loc = e.loc;
+        const int r = ld.dst;
+        emit(std::move(ld));
+        return r;
+      }
+      case ExprKind::VarRef: {
+        const auto& v = static_cast<const VarRefExpr&>(e);
+        const auto it = varReg_.find(v.decl);
+        if (it == varReg_.end()) {
+          fail(e.loc, fmt("read of unassigned variable '%0' in data path", v.name));
+          return out_.newReg(e.type, v.name);
+        }
+        return it->second;
+      }
+      case ExprKind::ArrayRef:
+        fail(e.loc, "array access survived into the data-path function");
+        return out_.newReg(e.type, "");
+      case ExprKind::Unary: {
+        const auto& u = static_cast<const UnaryExpr&>(e);
+        const int src = lowerExpr(*u.operand);
+        switch (u.op) {
+          case UnOp::Neg:
+            return emitOp(Opcode::Neg, e.type, {Operand::ofReg(src)}, e.loc);
+          case UnOp::BitNot:
+            return emitOp(Opcode::Not, e.type, {Operand::ofReg(src)}, e.loc);
+          case UnOp::LogicalNot: {
+            // !x == (x == 0)
+            Instr zero;
+            zero.op = Opcode::Ldc;
+            zero.dst = out_.newReg(out_.regTypes[static_cast<size_t>(src)], "");
+            zero.type = zero.dst >= 0 ? out_.regTypes[static_cast<size_t>(src)] : e.type;
+            zero.imm = 0;
+            const int z = zero.dst;
+            emit(std::move(zero));
+            return emitOp(Opcode::Seq, ScalarType::boolTy(), {Operand::ofReg(src), Operand::ofReg(z)}, e.loc);
+          }
+        }
+        break;
+      }
+      case ExprKind::Binary: {
+        const auto& b = static_cast<const BinaryExpr&>(e);
+        const int l = lowerExpr(*b.lhs);
+        const int r = lowerExpr(*b.rhs);
+        const Opcode op = [&] {
+          switch (b.op) {
+            case BinOp::Add: return Opcode::Add;
+            case BinOp::Sub: return Opcode::Sub;
+            case BinOp::Mul: return Opcode::Mul;
+            case BinOp::Div: return Opcode::Div;
+            case BinOp::Rem: return Opcode::Rem;
+            case BinOp::And: return Opcode::And;
+            case BinOp::Or: return Opcode::Or;
+            case BinOp::Xor: return Opcode::Xor;
+            case BinOp::Shl: return Opcode::Shl;
+            case BinOp::Shr: return Opcode::Shr;
+            case BinOp::Eq: return Opcode::Seq;
+            case BinOp::Ne: return Opcode::Sne;
+            case BinOp::Lt: return Opcode::Slt;
+            case BinOp::Le: return Opcode::Sle;
+            case BinOp::Gt: return Opcode::Sgt;
+            case BinOp::Ge: return Opcode::Sge;
+            // The data path evaluates both sides of && / || — they are
+            // 1-bit pure values here, so bitwise and/or is equivalent.
+            case BinOp::LAnd: return Opcode::And;
+            case BinOp::LOr: return Opcode::Or;
+          }
+          return Opcode::Add;
+        }();
+        return emitOp(op, e.type, {Operand::ofReg(l), Operand::ofReg(r)}, e.loc);
+      }
+      case ExprKind::Cast: {
+        const auto& c = static_cast<const CastExpr&>(e);
+        const int src = lowerExpr(*c.operand);
+        if (out_.regTypes[static_cast<size_t>(src)] == c.type) return src;
+        return emitOp(Opcode::Cast, c.type, {Operand::ofReg(src)}, e.loc);
+      }
+      case ExprKind::Call:
+        return lowerCall(static_cast<const CallExpr&>(e));
+    }
+    fail(e.loc, "unhandled expression in lowering");
+    return out_.newReg(e.type, "");
+  }
+
+  int lowerCall(const CallExpr& c) {
+    if (c.callee == intrinsics::kLoadPrev) {
+      const auto& v = static_cast<const VarRefExpr&>(*c.args[0]);
+      Instr lpr;
+      lpr.op = Opcode::Lpr;
+      lpr.dst = out_.newReg(c.type, v.name + "_prev");
+      lpr.type = c.type;
+      lpr.symbol = v.name;
+      lpr.loc = c.loc;
+      const int r = lpr.dst;
+      emit(std::move(lpr));
+      return r;
+    }
+    if (c.callee == intrinsics::kStoreNext) {
+      const auto& v = static_cast<const VarRefExpr&>(*c.args[0]);
+      const int val = lowerExpr(*c.args[1]);
+      Instr snx;
+      snx.op = Opcode::Snx;
+      snx.type = c.type;
+      snx.symbol = v.name;
+      snx.srcs = {Operand::ofReg(val)};
+      snx.loc = c.loc;
+      emit(std::move(snx));
+      return val;
+    }
+    if (c.callee == intrinsics::kLookup) {
+      const auto& t = static_cast<const VarRefExpr&>(*c.args[0]);
+      const int idx = lowerExpr(*c.args[1]);
+      Instr lut;
+      lut.op = Opcode::Lut;
+      lut.dst = out_.newReg(c.type, "");
+      lut.type = c.type;
+      lut.symbol = t.name;
+      lut.srcs = {Operand::ofReg(idx)};
+      lut.loc = c.loc;
+      const int r = lut.dst;
+      emit(std::move(lut));
+      return r;
+    }
+    if (c.callee == intrinsics::kCos || c.callee == intrinsics::kSin) {
+      // Pre-existing cos/sin LUT IP: modeled as a Lut over a synthesized
+      // table registered once per function.
+      const std::string tname = c.callee == intrinsics::kCos ? "__cos_rom" : "__sin_rom";
+      if (!out_.findTable(tname)) {
+        FunctionIR::Table t;
+        t.name = tname;
+        t.elemType = ScalarType::make(16, true);
+        for (int i = 0; i < 1024; ++i) {
+          t.values.push_back(cosRomEntry(i, c.callee == intrinsics::kSin));
+        }
+        out_.tables.push_back(std::move(t));
+      }
+      const int idx = lowerExpr(*c.args[0]);
+      Instr lut;
+      lut.op = Opcode::Lut;
+      lut.dst = out_.newReg(c.type, "");
+      lut.type = c.type;
+      lut.symbol = tname;
+      lut.srcs = {Operand::ofReg(idx)};
+      lut.loc = c.loc;
+      const int r = lut.dst;
+      emit(std::move(lut));
+      return r;
+    }
+    if (c.callee == intrinsics::kBitSelect) {
+      const int src = lowerExpr(*c.args[0]);
+      Instr bs;
+      bs.op = Opcode::BitSel;
+      bs.dst = out_.newReg(c.type, "");
+      bs.type = c.type;
+      bs.aux0 = static_cast<int>(*evalConstant(*c.args[1]));
+      bs.aux1 = static_cast<int>(*evalConstant(*c.args[2]));
+      bs.srcs = {Operand::ofReg(src)};
+      bs.loc = c.loc;
+      const int r = bs.dst;
+      emit(std::move(bs));
+      return r;
+    }
+    if (c.callee == intrinsics::kBitConcat) {
+      const int hi = lowerExpr(*c.args[0]);
+      const int lo = lowerExpr(*c.args[1]);
+      return emitOp(Opcode::BitCat, c.type, {Operand::ofReg(hi), Operand::ofReg(lo)}, c.loc);
+    }
+    fail(c.loc, fmt("call to '%0' in the data path (inline or LUT-convert it first)", c.callee));
+    return out_.newReg(c.type, "");
+  }
+
+  // --- statements ----------------------------------------------------------
+
+  void lowerBlockStmts(const BlockStmt& b) {
+    for (const auto& s : b.stmts) lowerStmt(*s);
+  }
+
+  void lowerStmt(const Stmt& s) {
+    if (failed_) return;
+    switch (s.kind) {
+      case StmtKind::Block:
+        lowerBlockStmts(static_cast<const BlockStmt&>(s));
+        break;
+      case StmtKind::Decl: {
+        const auto& d = static_cast<const DeclStmt&>(s);
+        if (d.init) {
+          const int v = lowerExpr(*d.init);
+          assignVar(&d.var, coerceReg(v, d.var.type.scalar, d.loc), d.loc);
+        }
+        break;
+      }
+      case StmtKind::Assign: {
+        const auto& a = static_cast<const AssignStmt&>(s);
+        const int v = lowerExpr(*a.value);
+        switch (a.target.kind) {
+          case LValue::Kind::Var:
+            assignVar(a.target.decl, coerceReg(v, a.target.decl->type.scalar, a.loc), a.loc);
+            break;
+          case LValue::Kind::Deref: {
+            Instr o;
+            o.op = Opcode::Out;
+            o.type = a.target.decl->type.scalar;
+            o.aux0 = outPortOf_.at(a.target.decl);
+            o.srcs = {Operand::ofReg(coerceReg(v, a.target.decl->type.scalar, a.loc))};
+            o.loc = a.loc;
+            emit(std::move(o));
+            break;
+          }
+          case LValue::Kind::ArrayElem:
+            fail(a.loc, "array store survived into the data-path function");
+            break;
+        }
+        break;
+      }
+      case StmtKind::If: {
+        const auto& i = static_cast<const IfStmt&>(s);
+        const int cond = lowerExpr(*i.cond);
+        const int thenB = out_.addBlock();
+        const int elseB = out_.addBlock();
+        const int joinB = out_.addBlock();
+        Instr br;
+        br.op = Opcode::Br;
+        br.srcs = {Operand::ofReg(cond)};
+        br.loc = i.loc;
+        emit(std::move(br));
+        block().succs = {thenB, elseB};
+
+        cur_ = thenB;
+        lowerStmt(*i.thenBody);
+        emitJmp(joinB, i.loc);
+
+        cur_ = elseB;
+        if (i.elseBody) lowerStmt(*i.elseBody);
+        emitJmp(joinB, i.loc);
+
+        cur_ = joinB;
+        break;
+      }
+      case StmtKind::For:
+        fail(s.loc, "loop survived into the data-path function (the controller owns loops)");
+        break;
+      case StmtKind::Return:
+        // Trailing return; lowering emits Ret at the end anyway.
+        break;
+      case StmtKind::CallStmt:
+        lowerCall(static_cast<const CallExpr&>(*static_cast<const CallStmt&>(s).call));
+        break;
+    }
+  }
+
+  void emitJmp(int target, SourceLoc loc) {
+    Instr j;
+    j.op = Opcode::Jmp;
+    j.loc = loc;
+    emit(std::move(j));
+    block().succs = {target};
+  }
+
+  int coerceReg(int reg, ScalarType to, SourceLoc loc) {
+    if (out_.regTypes[static_cast<size_t>(reg)] == to) return reg;
+    return emitOp(Opcode::Cast, to, {Operand::ofReg(reg)}, loc);
+  }
+
+};
+
+} // namespace
+
+bool lowerToMir(const Module& m, const std::string& fnName, FunctionIR& out, DiagEngine& diags) {
+  const Function* fn = m.findFunction(fnName);
+  if (!fn) {
+    diags.error({}, fmt("no function named '%0' to lower", fnName));
+    return false;
+  }
+  out = FunctionIR{};
+  Lowerer l(m, *fn, out, diags);
+  return l.run();
+}
+
+} // namespace roccc::mir

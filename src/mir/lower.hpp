@@ -1,0 +1,20 @@
+// AST -> MIR lowering for the (loop-free) data-path function produced by
+// kernel extraction. Mirrors the paper's flow: the scalar-computing function
+// (Fig 3 (c) / 4 (c)) is "fed into Machine-SUIF", with the preserved macros
+// converted into the LPR / SNX opcodes (section 4.2.1).
+#pragma once
+
+#include "frontend/ast.hpp"
+#include "mir/ir.hpp"
+#include "support/diag.hpp"
+
+namespace roccc::mir {
+
+/// Lowers `fnName` of the analyzed module `m` (typically KernelInfo's
+/// dpModule). The function must be loop-free: loops belong to the
+/// controller, not the data path — fully unroll first if needed.
+/// Produces non-SSA MIR (one virtual register per source variable, Mov on
+/// every assignment); run buildSSA() next.
+bool lowerToMir(const ast::Module& m, const std::string& fnName, FunctionIR& out, DiagEngine& diags);
+
+} // namespace roccc::mir

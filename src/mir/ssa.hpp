@@ -1,0 +1,18 @@
+// Static single assignment construction (the Machine-SUIF "Static Single
+// Assignment library" counterpart, section 4.2.1: "the virtual machine IR
+// first undergoes Machine-SUIF Static Single Assignment and Control Flow
+// Graph transformations ... every virtual register is assigned only once").
+#pragma once
+
+#include "mir/ir.hpp"
+
+namespace roccc::mir {
+
+/// Rewrites `f` into SSA form: phi insertion at iterated dominance
+/// frontiers of multi-definition registers, then dominator-tree renaming.
+/// Registers that may be read before any definition on some path receive an
+/// explicit zero definition in the entry block (dead ones are cleaned up by
+/// DCE).
+void buildSSA(FunctionIR& f);
+
+} // namespace roccc::mir

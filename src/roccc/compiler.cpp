@@ -1,0 +1,179 @@
+#include "roccc/compiler.hpp"
+
+#include "frontend/parser.hpp"
+#include "frontend/sema.hpp"
+#include "hlir/transforms.hpp"
+#include "mir/lower.hpp"
+#include "mir/passes.hpp"
+#include "mir/ssa.hpp"
+#include "rtl/from_dp.hpp"
+#include "support/strings.hpp"
+#include "vhdl/emit.hpp"
+#include "vhdl/verilog.hpp"
+
+namespace roccc {
+
+CompileResult Compiler::compileSource(const std::string& cSource) const {
+  CompileResult r;
+
+  // --- front end --------------------------------------------------------------
+  ast::Module m = ast::parse(cSource, r.diags);
+  if (r.diags.hasErrors()) return r;
+  if (!ast::analyze(m, r.diags)) return r;
+
+  std::string kernelName = options_.kernelName;
+  if (kernelName.empty()) {
+    if (m.functions.empty()) {
+      r.diags.error({}, "no functions in the module");
+      return r;
+    }
+    kernelName = m.functions.back().name;
+  }
+  ast::Function* kernel = m.findFunction(kernelName);
+  if (!kernel) {
+    r.diags.error({}, fmt("no kernel named '%0'", kernelName));
+    return r;
+  }
+
+  // --- loop-level transforms (section 2 / 4.1) ----------------------------------
+  const int inlined = hlir::inlineCalls(m, r.diags);
+  if (r.diags.hasErrors()) return r;
+  int luts = 0;
+  if (options_.convertCallsToLuts) {
+    luts = hlir::convertCallsToLookupTables(m, r.diags, options_.lutMaxIndexBits);
+    if (r.diags.hasErrors()) return r;
+  }
+  const int folded = hlir::constantFold(m, r.diags);
+  if (r.diags.hasErrors()) return r;
+  kernel = m.findFunction(kernelName);
+  const int fused = hlir::fuseAdjacentLoops(m, *kernel, r.diags);
+  if (r.diags.hasErrors()) return r;
+  int innerUnrolled = 0;
+  if (options_.fullUnrollInnerLoops) {
+    innerUnrolled = hlir::fullyUnrollInnerLoops(m, *kernel, r.diags, options_.maxInnerUnrollTrip);
+    if (r.diags.hasErrors()) return r;
+  }
+  int unrollFactor = options_.unrollFactor;
+  if (options_.autoUnrollSliceBudget > 0) {
+    // Area-estimation-driven unrolling (section 2 / ref [13]): largest
+    // power-of-two factor whose estimated slice count fits the budget.
+    kernel = m.findFunction(kernelName);
+    int64_t trips = 0;
+    ast::forEachStmt(*kernel->body, [&](const ast::Stmt& s) {
+      if (s.kind == ast::StmtKind::For && trips == 0) {
+        const auto& f = static_cast<const ast::ForStmt&>(s);
+        const auto b = ast::evalConstant(*f.begin);
+        const auto e = ast::evalConstant(*f.end);
+        if (b && e && *e > *b) trips = (*e - *b + f.step - 1) / f.step;
+      }
+    });
+    if (trips > 1) {
+      unrollFactor = hlir::chooseUnrollFactor(*kernel, trips, options_.autoUnrollSliceBudget);
+    }
+  }
+  if (unrollFactor > 1) {
+    kernel = m.findFunction(kernelName);
+    if (!hlir::unrollInnerLoop(m, *kernel, unrollFactor, r.diags)) return r;
+  }
+  r.passLog.push_back(fmt("hlir: inlined=%0 lut-converted=%1 const-folds=%2 fused=%3 "
+                          "inner-unrolled=%4 unroll-factor=%5",
+                          inlined, luts, folded, fused, innerUnrolled, unrollFactor));
+  r.transformedSource = ast::printModule(m);
+
+  // --- kernel extraction (section 4.1 / 4.2.1) ------------------------------------
+  if (!hlir::extractKernel(m, kernelName, r.kernel, r.diags)) return r;
+
+  // --- back end (section 4.2) -----------------------------------------------------
+  if (!mir::lowerToMir(r.kernel.dpModule, r.kernel.dpName, r.mir, r.diags)) return r;
+  mir::canonicalizeSideEffects(r.mir);
+  mir::buildSSA(r.mir);
+  if (options_.optimize) {
+    auto log = mir::runStandardPasses(r.mir);
+    r.passLog.insert(r.passLog.end(), log.begin(), log.end());
+  }
+  std::vector<std::string> mirErrors;
+  if (!r.mir.verifySSA(mirErrors)) {
+    for (const auto& e : mirErrors) r.diags.error({}, "internal: post-pass MIR invalid: " + e);
+    return r;
+  }
+
+  if (!dp::buildDataPath(r.mir, r.datapath, r.diags, options_.dpOptions)) return r;
+  r.passLog.push_back(fmt("datapath: %0 soft + %1 hard nodes, %2 stages, %3 narrowed bits, "
+                          "%4 pipeline register bits",
+                          r.datapath.softNodeCount, r.datapath.hardNodeCount, r.datapath.stageCount,
+                          r.datapath.narrowedBits, r.datapath.pipelineRegisterBits));
+
+  if (!rtl::buildDatapathModule(r.datapath, r.module, r.diags)) return r;
+
+  // --- VHDL (section 4.2.4) ---------------------------------------------------------
+  r.vhdl = vhdl::emitDesign(r.datapath, r.module, r.kernel);
+  r.verilog = verilog::emitDesign(r.datapath, r.kernel);
+
+  r.ok = !r.diags.hasErrors();
+  return r;
+}
+
+CosimReport cosimulate(const CompileResult& compiled, const std::string& originalSource,
+                       const interp::KernelIO& inputs, rtl::SystemOptions sysOptions) {
+  CosimReport rep;
+
+  // Software: the original kernel through the interpreter.
+  DiagEngine diags;
+  ast::Module m = ast::parse(originalSource, diags);
+  if (diags.hasErrors() || !ast::analyze(m, diags)) {
+    rep.mismatch = "software reference failed to build: " + diags.dump();
+    return rep;
+  }
+  rep.software = interp::runKernel(m, compiled.kernel.kernelName, inputs);
+
+  // Hardware: cycle-accurate Fig 2 system.
+  rtl::System system(compiled.kernel, compiled.datapath, compiled.module, sysOptions);
+  rep.hardware = system.run(inputs);
+  rep.stats = system.stats();
+
+  // Compare outputs the kernel defines: output arrays, scalar outs,
+  // feedback finals.
+  rep.match = true;
+  for (const auto& st : compiled.kernel.outputs) {
+    const auto& hw = rep.hardware.arrays.at(st.arrayName);
+    const auto it = rep.software.arrays.find(st.arrayName);
+    if (it == rep.software.arrays.end() || it->second.size() != hw.size()) {
+      rep.match = false;
+      rep.mismatch = fmt("array '%0' size mismatch", st.arrayName);
+      return rep;
+    }
+    for (size_t i = 0; i < hw.size(); ++i) {
+      if (hw[i] != it->second[i]) {
+        rep.match = false;
+        rep.mismatch = fmt("array '%0'[%1]: hw=%2 sw=%3", st.arrayName, i, hw[i], it->second[i]);
+        return rep;
+      }
+    }
+  }
+  for (const auto& so : compiled.kernel.scalarOutputs) {
+    const auto hw = rep.hardware.scalars.find(so.name);
+    const auto sw = rep.software.scalars.find(so.name);
+    if (hw == rep.hardware.scalars.end() || sw == rep.software.scalars.end() ||
+        hw->second != sw->second) {
+      rep.match = false;
+      rep.mismatch = fmt("scalar '%0': hw=%1 sw=%2", so.name,
+                         hw == rep.hardware.scalars.end() ? 0 : hw->second,
+                         sw == rep.software.scalars.end() ? 0 : sw->second);
+      return rep;
+    }
+  }
+  for (const auto& fb : compiled.kernel.feedbacks) {
+    const auto hw = rep.hardware.scalars.find(fb.name);
+    const auto sw = rep.software.scalars.find(fb.name);
+    if (sw == rep.software.scalars.end()) continue; // local feedback, not visible in sw results
+    if (hw == rep.hardware.scalars.end() || hw->second != sw->second) {
+      rep.match = false;
+      rep.mismatch = fmt("feedback '%0': hw=%1 sw=%2", fb.name,
+                         hw == rep.hardware.scalars.end() ? 0 : hw->second, sw->second);
+      return rep;
+    }
+  }
+  return rep;
+}
+
+} // namespace roccc

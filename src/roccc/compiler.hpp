@@ -1,0 +1,97 @@
+// roccc::Compiler — the public facade of the library.
+//
+// Runs the full ROCCC pipeline of the paper on one C kernel:
+//   parse -> sema -> loop transforms (inline, LUT-convert, const-fold,
+//   unroll) -> kernel extraction (scalar replacement, feedback detection,
+//   access patterns) -> MIR lowering -> SSA -> circuit-level passes ->
+//   data-path generation (mux/pipe hard nodes, pipelining, bit-width
+//   inference) -> RTL netlist -> VHDL.
+//
+// Use rtl::System / cosimulate() to execute the generated hardware against
+// the software interpreter, and synth::estimate() (src/synth) to obtain the
+// Table 1-style clock/area figures.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "dp/datapath.hpp"
+#include "frontend/ast.hpp"
+#include "hlir/kernel.hpp"
+#include "interp/interp.hpp"
+#include "mir/ir.hpp"
+#include "rtl/netlist.hpp"
+#include "rtl/system.hpp"
+#include "support/diag.hpp"
+
+namespace roccc {
+
+struct CompileOptions {
+  /// Kernel function to compile; empty = the module's last function.
+  std::string kernelName;
+  /// Partial unroll factor for the innermost streaming loop (1 = none).
+  /// Widening the data path this way is how the DCT processes a full
+  /// 8-sample block per clock (section 5).
+  int unrollFactor = 1;
+  /// When > 0, pick the unroll factor automatically: the largest
+  /// power-of-two whose compile-time area estimate (ref [13]) fits this
+  /// many slices. Overrides unrollFactor.
+  int64_t autoUnrollSliceBudget = 0;
+  /// Fully unroll loops nested inside the streaming loop (bit_correlator's
+  /// per-bit scan, square root's digit recurrence, ...).
+  bool fullUnrollInnerLoops = true;
+  int64_t maxInnerUnrollTrip = 256;
+  /// Convert pure unary callees into lookup tables ("whenever feasible made
+  /// into a lookup table", section 2).
+  bool convertCallsToLuts = true;
+  int lutMaxIndexBits = 10;
+  /// Run the circuit-level scalar optimizations (constant propagation,
+  /// copy propagation, CSE, DCE, strength reduction).
+  bool optimize = true;
+  /// Data-path generation knobs (pipelining target, bit-width inference,
+  /// multiplier style).
+  dp::BuildOptions dpOptions;
+};
+
+struct CompileResult {
+  bool ok = false;
+  DiagEngine diags;
+  /// Transformed-source module (after inlining/unrolling), for inspection.
+  std::string transformedSource;
+  hlir::KernelInfo kernel;
+  mir::FunctionIR mir;
+  dp::DataPath datapath;
+  rtl::Module module;
+  std::string vhdl; ///< generated RTL VHDL (all entities)
+  std::string verilog; ///< generated Verilog (library extension)
+  std::vector<std::string> passLog;
+};
+
+class Compiler {
+ public:
+  explicit Compiler(CompileOptions options = {}) : options_(std::move(options)) {}
+
+  /// Compiles C source text end to end.
+  CompileResult compileSource(const std::string& cSource) const;
+
+  const CompileOptions& options() const { return options_; }
+
+ private:
+  CompileOptions options_;
+};
+
+/// Hardware/software cosimulation: runs the compiled kernel both on the
+/// cycle-accurate RTL system and through the AST interpreter on the
+/// original source, and compares every output.
+struct CosimReport {
+  bool match = false;
+  std::string mismatch; ///< first difference, empty when match
+  rtl::SystemStats stats;
+  interp::KernelIO hardware;
+  interp::KernelIO software;
+};
+
+CosimReport cosimulate(const CompileResult& compiled, const std::string& originalSource,
+                       const interp::KernelIO& inputs, rtl::SystemOptions sysOptions = {});
+
+} // namespace roccc

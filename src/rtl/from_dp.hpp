@@ -1,0 +1,17 @@
+// Lowers a built DataPath into an RTL Module: one cell per operation, nets
+// at the inferred widths, pipeline registers at every stage crossing (the
+// materialized form of section 4.2.2's register-copy insertion), and the
+// feedback registers closing each LPR/SNX loop.
+#pragma once
+
+#include "dp/datapath.hpp"
+#include "rtl/netlist.hpp"
+#include "support/diag.hpp"
+
+namespace roccc::rtl {
+
+/// Builds the synthesizable module. Feedback registers are exposed as extra
+/// output ports named "<name>__fb" so the system can read final values.
+bool buildDatapathModule(const dp::DataPath& dp, Module& out, DiagEngine& diags);
+
+} // namespace roccc::rtl

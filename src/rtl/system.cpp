@@ -1,0 +1,280 @@
+#include "rtl/system.hpp"
+
+#include <cassert>
+#include <stdexcept>
+
+#include "rtl/vcd.hpp"
+#include "support/strings.hpp"
+
+namespace roccc::rtl {
+
+double SystemStats::steadyStateThroughput() const {
+  if (enabledCycles == 0) return 0;
+  return static_cast<double>(outputElems) / static_cast<double>(enabledCycles);
+}
+
+System::System(const hlir::KernelInfo& kernel, const dp::DataPath& dp, const Module& module,
+               SystemOptions options)
+    : kernel_(kernel), dp_(dp), module_(module), opt_(options) {}
+
+interp::KernelIO System::run(const interp::KernelIO& io) {
+  stats_ = SystemStats{};
+  stats_.pipelineStages = dp_.stageCount;
+
+  IterationWalker walker(kernel_.loops);
+  const int64_t total = walker.totalIterations();
+
+  // --- memories -------------------------------------------------------------
+  std::vector<Bram> inBrams;
+  for (const auto& st : kernel_.inputs) {
+    const auto it = io.arrays.find(st.arrayName);
+    if (it == io.arrays.end()) {
+      throw std::runtime_error(fmt("input array '%0' not bound", st.arrayName));
+    }
+    int64_t n = 1;
+    for (int64_t d : st.dims) n *= d;
+    if (static_cast<int64_t>(it->second.size()) != n) {
+      throw std::runtime_error(fmt("array '%0': %1 elements bound, %2 expected", st.arrayName,
+                                   it->second.size(), n));
+    }
+    inBrams.emplace_back(st.elemType, it->second);
+  }
+  std::vector<Bram> outBrams;
+  for (const auto& st : kernel_.outputs) {
+    int64_t n = 1;
+    for (int64_t d : st.dims) n *= d;
+    outBrams.emplace_back(st.elemType, static_cast<size_t>(n));
+  }
+
+  // --- buffers / collectors ----------------------------------------------------
+  std::vector<std::unique_ptr<InputBuffer>> buffers;
+  std::vector<NaiveBuffer*> naive;
+  for (const auto& st : kernel_.inputs) {
+    if (opt_.useSmartBuffer) {
+      buffers.push_back(std::make_unique<SmartBuffer>(st, walker, opt_.inputBusElems));
+    } else {
+      auto nb = std::make_unique<NaiveBuffer>(st, walker, opt_.inputBusElems);
+      naive.push_back(nb.get());
+      buffers.push_back(std::move(nb));
+    }
+  }
+  std::vector<OutputCollector> collectors;
+  for (const auto& st : kernel_.outputs) {
+    const int bus = opt_.outputBusElems > 0 ? opt_.outputBusElems : st.accessCount();
+    collectors.emplace_back(st, walker, bus);
+  }
+
+  // --- port wiring ----------------------------------------------------------------
+  // dp input port -> source.
+  struct InSource {
+    enum class Kind { Window, Scalar, Induction } kind = Kind::Scalar;
+    size_t stream = 0, access = 0;
+    Value scalar;
+    int loop = 0;
+  };
+  std::vector<InSource> inSources;
+  for (const auto& port : dp_.inputs) {
+    InSource src;
+    bool found = false;
+    for (size_t s = 0; s < kernel_.inputs.size() && !found; ++s) {
+      const auto& st = kernel_.inputs[s];
+      for (size_t a = 0; a < st.scalarNames.size(); ++a) {
+        if (st.scalarNames[a] == port.name) {
+          src.kind = InSource::Kind::Window;
+          src.stream = s;
+          src.access = a;
+          found = true;
+          break;
+        }
+      }
+    }
+    if (!found) {
+      for (const auto& si : kernel_.scalarInputs) {
+        if (si.name != port.name) continue;
+        if (si.isInduction) {
+          src.kind = InSource::Kind::Induction;
+          src.loop = si.loop;
+        } else {
+          const auto it = io.scalars.find(si.name);
+          if (it == io.scalars.end()) {
+            throw std::runtime_error(fmt("scalar input '%0' not bound", si.name));
+          }
+          src.kind = InSource::Kind::Scalar;
+          src.scalar = Value::fromInt(si.type, it->second);
+        }
+        found = true;
+        break;
+      }
+    }
+    if (!found) throw std::runtime_error(fmt("no source for data-path input '%0'", port.name));
+    inSources.push_back(std::move(src));
+  }
+
+  // dp output port -> sink.
+  struct OutSink {
+    enum class Kind { Window, Scalar } kind = Kind::Scalar;
+    size_t stream = 0, access = 0;
+    std::string scalarName;
+  };
+  std::vector<OutSink> outSinks;
+  for (const auto& port : dp_.outputs) {
+    OutSink sink;
+    bool found = false;
+    for (size_t s = 0; s < kernel_.outputs.size() && !found; ++s) {
+      const auto& st = kernel_.outputs[s];
+      for (size_t a = 0; a < st.scalarNames.size(); ++a) {
+        if (st.scalarNames[a] == port.name) {
+          sink.kind = OutSink::Kind::Window;
+          sink.stream = s;
+          sink.access = a;
+          found = true;
+          break;
+        }
+      }
+    }
+    if (!found) {
+      sink.kind = OutSink::Kind::Scalar;
+      sink.scalarName = port.name;
+      found = true;
+    }
+    outSinks.push_back(std::move(sink));
+  }
+
+  // --- main clock loop ---------------------------------------------------------------
+  NetlistSim sim(module_);
+  sim.reset();
+  std::unique_ptr<VcdRecorder> vcdRecorder;
+  if (opt_.recordVcd) vcdRecorder = std::make_unique<VcdRecorder>(module_, /*onlyNamed=*/true);
+  const int latency = module_.latency;
+
+  int64_t issued = 0;
+  int64_t captured = 0;
+  int64_t enabledCount = 0;
+  std::map<std::string, int64_t> scalarOuts;
+  std::map<std::string, int64_t> fbFinal;
+  for (const auto& fb : dp_.feedbacks) fbFinal[fb.name] = fb.initial;
+
+  auto allDrained = [&]() {
+    for (const auto& c : collectors) {
+      if (!c.drained()) return false;
+    }
+    return true;
+  };
+
+  int64_t cycle = 0;
+  while (captured < total || !allDrained()) {
+    if (++cycle > opt_.cycleLimit) {
+      throw std::runtime_error(fmt("cycle limit exceeded (%0 cycles, %1/%2 iterations)",
+                                   opt_.cycleLimit, captured, total));
+    }
+    // Memory-side work.
+    for (size_t b = 0; b < buffers.size(); ++b) buffers[b]->cycle(inBrams[b]);
+    for (size_t c = 0; c < collectors.size(); ++c) collectors[c].cycle(outBrams[c]);
+
+    bool canIssue = issued < total;
+    for (size_t b = 0; b < buffers.size() && canIssue; ++b) {
+      if (!buffers[b]->windowReady(issued)) canIssue = false;
+    }
+    for (const auto& c : collectors) {
+      if (!c.hasRoom()) canIssue = false;
+    }
+    const bool flushing = issued == total && captured < total;
+    const bool enable = canIssue || flushing;
+
+    // Valid strobe: high exactly when a real iteration enters the pipe.
+    if (!dp_.feedbacks.empty()) {
+      sim.setInput(inSources.size(), Value::ofBool(canIssue));
+    }
+    if (canIssue) {
+      // Present iteration `issued` to the data path.
+      std::vector<std::vector<Value>> windows(buffers.size());
+      for (size_t b = 0; b < buffers.size(); ++b) {
+        windows[b] = buffers[b]->window(inBrams[b], issued);
+      }
+      const auto ivs = walker.ivsAt(issued);
+      for (size_t p = 0; p < inSources.size(); ++p) {
+        const InSource& src = inSources[p];
+        switch (src.kind) {
+          case InSource::Kind::Window:
+            sim.setInput(p, windows[src.stream][src.access]);
+            break;
+          case InSource::Kind::Scalar:
+            sim.setInput(p, src.scalar);
+            break;
+          case InSource::Kind::Induction:
+            sim.setInput(p, Value::ofInt(ivs[static_cast<size_t>(src.loop)]));
+            break;
+        }
+      }
+    }
+
+    sim.eval();
+    if (vcdRecorder) vcdRecorder->sample(sim);
+
+    if (enable) {
+      const int64_t tOut = enabledCount - latency;
+      if (tOut >= 0 && tOut < total) {
+        // Capture iteration tOut's results (combinational at the final stage).
+        std::vector<std::vector<Value>> outWindows(collectors.size());
+        for (auto& w : outWindows) w.clear();
+        for (size_t s = 0; s < kernel_.outputs.size(); ++s) {
+          outWindows[s].assign(kernel_.outputs[s].scalarNames.size(), Value());
+        }
+        for (size_t p = 0; p < outSinks.size(); ++p) {
+          const OutSink& sink = outSinks[p];
+          const Value v = sim.output(p);
+          if (sink.kind == OutSink::Kind::Window) {
+            outWindows[sink.stream][sink.access] = v;
+          } else {
+            scalarOuts[sink.scalarName] = v.toInt();
+          }
+        }
+        for (size_t c = 0; c < collectors.size(); ++c) {
+          collectors[c].push(tOut, std::move(outWindows[c]));
+          stats_.outputElems += static_cast<int64_t>(kernel_.outputs[c].scalarNames.size());
+        }
+        ++captured;
+      }
+      sim.tick(true);
+      ++enabledCount;
+      ++stats_.enabledCycles;
+      if (canIssue) {
+        for (NaiveBuffer* nb : naive) nb->advance();
+        ++issued;
+      }
+      // Snapshot feedback registers whose latest update belonged to a valid
+      // iteration (flush cycles would otherwise clobber them).
+      sim.eval();
+      for (size_t f = 0; f < dp_.feedbacks.size(); ++f) {
+        const auto& fb = dp_.feedbacks[f];
+        const int64_t iterOfUpdate = (enabledCount - 1) - fb.stage;
+        if (iterOfUpdate >= 0 && iterOfUpdate < total) {
+          fbFinal[fb.name] = sim.output(dp_.outputs.size() + f).toInt();
+        }
+      }
+    } else {
+      sim.tick(false);
+      ++stats_.stallCycles;
+    }
+  }
+
+  if (vcdRecorder) vcd_ = vcdRecorder->render();
+  stats_.cycles = cycle;
+  stats_.iterations = total;
+  for (size_t b = 0; b < buffers.size(); ++b) {
+    stats_.bramReads += buffers[b]->fetchCount();
+    stats_.bufferCapacityElems += buffers[b]->capacityElems();
+  }
+  for (const auto& bram : outBrams) stats_.bramWrites += bram.writes;
+
+  // --- results --------------------------------------------------------------------
+  interp::KernelIO out;
+  for (size_t s = 0; s < kernel_.outputs.size(); ++s) {
+    out.arrays[kernel_.outputs[s].arrayName] = outBrams[s].contents();
+  }
+  for (const auto& [n, v] : scalarOuts) out.scalars[n] = v;
+  for (const auto& [n, v] : fbFinal) out.scalars[n] = v;
+  return out;
+}
+
+} // namespace roccc::rtl

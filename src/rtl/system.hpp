@@ -1,0 +1,68 @@
+// The complete execution model of paper Fig 2: input BRAMs -> smart
+// buffers -> fully pipelined data path -> output collector -> output BRAMs,
+// sequenced by the controller. Simulation is cycle-accurate: throughput and
+// memory-traffic numbers reported by the benches come from here.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "dp/datapath.hpp"
+#include "hlir/kernel.hpp"
+#include "interp/interp.hpp"
+#include "rtl/buffers.hpp"
+#include "rtl/netlist.hpp"
+#include "support/diag.hpp"
+
+namespace roccc::rtl {
+
+struct SystemOptions {
+  int inputBusElems = 1;   ///< elements each smart buffer fetches per clock
+  int outputBusElems = 0;  ///< 0: wide enough for one window per clock
+  bool useSmartBuffer = true; ///< false: naive re-fetching buffer (ablation)
+  int64_t cycleLimit = 50'000'000;
+  /// Record a VCD waveform of the data-path module during the run
+  /// (retrieve with System::vcd()).
+  bool recordVcd = false;
+};
+
+struct SystemStats {
+  int64_t cycles = 0;
+  int64_t enabledCycles = 0;  ///< cycles with the pipeline advancing
+  int64_t stallCycles = 0;
+  int64_t iterations = 0;
+  int64_t bramReads = 0;      ///< off-buffer (BRAM-side) element reads
+  int64_t bramWrites = 0;
+  int64_t bufferCapacityElems = 0; ///< total smart-buffer storage
+  int pipelineStages = 1;
+  /// Output elements produced per clock once the pipeline is full
+  /// (the Table 1 DCT discussion: ROCCC emits 8/clock vs the IP's 1/clock).
+  double steadyStateThroughput() const;
+  int64_t outputElems = 0;
+};
+
+/// Runs a compiled kernel in the Fig 2 system and returns outputs in the
+/// same shape interp::runKernel produces. Throws std::runtime_error on
+/// simulation-level failures (cycle limit, unbound arrays).
+class System {
+ public:
+  System(const hlir::KernelInfo& kernel, const dp::DataPath& dp, const Module& module,
+         SystemOptions options = {});
+
+  interp::KernelIO run(const interp::KernelIO& inputs);
+  const SystemStats& stats() const { return stats_; }
+  /// VCD text of the last run (empty unless options.recordVcd was set).
+  const std::string& vcd() const { return vcd_; }
+
+ private:
+  const hlir::KernelInfo& kernel_;
+  const dp::DataPath& dp_;
+  const Module& module_;
+  SystemOptions opt_;
+  SystemStats stats_;
+  std::string vcd_;
+};
+
+} // namespace roccc::rtl

@@ -1,0 +1,39 @@
+// VCD (Value Change Dump) waveform recording for NetlistSim — lets users
+// inspect generated-hardware behavior in GTKWave or any waveform viewer,
+// the way they would debug the VHDL in a commercial simulator.
+//
+//   rtl::NetlistSim sim(module);
+//   rtl::VcdRecorder vcd(module, "run.vcd-contents-go-here");
+//   each cycle: sim.eval(); vcd.sample(sim); sim.tick(...);
+//   vcd.render() -> the VCD text.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "rtl/netlist.hpp"
+
+namespace roccc::rtl {
+
+class VcdRecorder {
+ public:
+  /// Records the named module's nets. `onlyNamed` skips compiler temporaries
+  /// (nets whose name starts with 't' followed by digits).
+  explicit VcdRecorder(const Module& m, bool onlyNamed = false);
+
+  /// Captures the current net values as one timestep (call after eval()).
+  void sample(const NetlistSim& sim);
+
+  /// Full VCD text for the samples so far.
+  std::string render() const;
+
+  size_t sampleCount() const { return samples_.size(); }
+
+ private:
+  const Module& m_;
+  std::vector<int> nets_;            ///< recorded net ids
+  std::vector<std::string> idCodes_; ///< VCD identifier per recorded net
+  std::vector<std::vector<uint64_t>> samples_;
+};
+
+} // namespace roccc::rtl

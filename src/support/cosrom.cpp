@@ -1,0 +1,14 @@
+#include "support/cosrom.hpp"
+
+#include <cmath>
+
+namespace roccc {
+
+int64_t cosRomEntry(int index, bool sine) {
+  const double kTwoPi = 6.28318530717958647692;
+  const double phase = kTwoPi * (static_cast<double>(index & 1023) / 1024.0);
+  const double v = sine ? std::sin(phase) : std::cos(phase);
+  return static_cast<int64_t>(v * 32767.0);
+}
+
+} // namespace roccc

@@ -1,0 +1,14 @@
+// Contents of the pre-existing cos/sin lookup-table IP used by Table 1's
+// "cos" row (10-bit phase in, Q15 signed out). One shared definition keeps
+// the interpreter, the MIR lowering, the RTL ROM, and the baseline IP
+// bit-identical.
+#pragma once
+
+#include <cstdint>
+
+namespace roccc {
+
+/// Q15 cosine/sine of phase index/1024 * 2*pi (full-wave, 1024 entries).
+int64_t cosRomEntry(int index, bool sine);
+
+} // namespace roccc

@@ -1,0 +1,41 @@
+#include "support/diag.hpp"
+
+#include <ostream>
+#include <sstream>
+
+namespace roccc {
+
+std::string SourceLoc::str() const {
+  if (!isValid()) return "<unknown>";
+  std::ostringstream os;
+  os << line << ':' << column;
+  return os.str();
+}
+
+std::string Diagnostic::str() const {
+  std::ostringstream os;
+  switch (severity) {
+    case Severity::Note: os << "note"; break;
+    case Severity::Warning: os << "warning"; break;
+    case Severity::Error: os << "error"; break;
+  }
+  os << " @" << loc.str() << ": " << message;
+  return os.str();
+}
+
+void DiagEngine::report(Severity sev, SourceLoc loc, std::string message) {
+  if (sev == Severity::Error) ++errorCount_;
+  diags_.push_back({sev, loc, std::move(message)});
+}
+
+std::string DiagEngine::dump() const {
+  std::ostringstream os;
+  print(os);
+  return os.str();
+}
+
+void DiagEngine::print(std::ostream& os) const {
+  for (const auto& d : diags_) os << d.str() << '\n';
+}
+
+} // namespace roccc

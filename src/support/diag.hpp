@@ -1,0 +1,53 @@
+// Diagnostics engine shared by all compiler phases.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace roccc {
+
+/// 1-based position in the kernel source buffer. line==0 means "no location"
+/// (diagnostics raised by later phases that lost source attribution).
+struct SourceLoc {
+  int line = 0;
+  int column = 0;
+
+  bool isValid() const { return line > 0; }
+  std::string str() const;
+  friend bool operator==(const SourceLoc&, const SourceLoc&) = default;
+};
+
+enum class Severity { Note, Warning, Error };
+
+struct Diagnostic {
+  Severity severity = Severity::Error;
+  SourceLoc loc;
+  std::string message;
+
+  std::string str() const;
+};
+
+/// Collects diagnostics across the pipeline. Phases report and keep going
+/// where possible; the driver checks hasErrors() between phases.
+class DiagEngine {
+ public:
+  void report(Severity sev, SourceLoc loc, std::string message);
+  void error(SourceLoc loc, std::string message) { report(Severity::Error, loc, std::move(message)); }
+  void warning(SourceLoc loc, std::string message) { report(Severity::Warning, loc, std::move(message)); }
+  void note(SourceLoc loc, std::string message) { report(Severity::Note, loc, std::move(message)); }
+
+  bool hasErrors() const { return errorCount_ > 0; }
+  int errorCount() const { return errorCount_; }
+  const std::vector<Diagnostic>& all() const { return diags_; }
+
+  /// All diagnostics, one per line.
+  std::string dump() const;
+  void print(std::ostream& os) const;
+
+ private:
+  std::vector<Diagnostic> diags_;
+  int errorCount_ = 0;
+};
+
+} // namespace roccc

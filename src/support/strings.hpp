@@ -1,0 +1,70 @@
+// Small string / container helpers used across the compiler.
+#pragma once
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace roccc {
+
+/// Joins `parts` with `sep`.
+std::string join(const std::vector<std::string>& parts, const std::string& sep);
+
+/// True if `s` starts with / ends with the given affix.
+bool startsWith(const std::string& s, const std::string& prefix);
+bool endsWith(const std::string& s, const std::string& suffix);
+
+/// Replaces every occurrence of `from` (non-empty) with `to`.
+std::string replaceAll(std::string s, const std::string& from, const std::string& to);
+
+/// printf-free formatting: fmt("x=%0 y=%1", a, b) substitutes %0, %1, ...
+/// via operator<<. Unmatched placeholders are left intact.
+template <typename... Args>
+std::string fmt(const std::string& pattern, const Args&... args) {
+  std::vector<std::string> rendered;
+  (rendered.push_back([&] {
+    std::ostringstream os;
+    os << args;
+    return os.str();
+  }()),
+   ...);
+  std::string out;
+  out.reserve(pattern.size());
+  for (size_t i = 0; i < pattern.size(); ++i) {
+    if (pattern[i] == '%' && i + 1 < pattern.size() && pattern[i + 1] >= '0' && pattern[i + 1] <= '9') {
+      const size_t idx = static_cast<size_t>(pattern[i + 1] - '0');
+      if (idx < rendered.size()) {
+        out += rendered[idx];
+        ++i;
+        continue;
+      }
+    }
+    out += pattern[i];
+  }
+  return out;
+}
+
+/// Writes indented lines; used by all the text emitters (AST printer, VHDL).
+class IndentWriter {
+ public:
+  explicit IndentWriter(int spacesPerLevel = 2) : spaces_(spacesPerLevel) {}
+
+  void indent() { ++level_; }
+  void dedent() {
+    if (level_ > 0) --level_;
+  }
+
+  /// Appends one full line at the current indent level.
+  void line(const std::string& text);
+  /// Appends a blank line.
+  void blank() { out_ += '\n'; }
+
+  const std::string& str() const { return out_; }
+
+ private:
+  int spaces_;
+  int level_ = 0;
+  std::string out_;
+};
+
+} // namespace roccc

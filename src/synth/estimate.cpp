@@ -1,0 +1,266 @@
+#include "synth/estimate.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <functional>
+#include <sstream>
+
+#include "support/strings.hpp"
+
+namespace roccc::synth {
+
+Resources& Resources::operator+=(const Resources& o) {
+  lut4 += o.lut4;
+  ff += o.ff;
+  mult18 += o.mult18;
+  bram += o.bram;
+  srl16 += o.srl16;
+  return *this;
+}
+
+int64_t slicesFor(const Resources& r) {
+  // A Virtex-II slice holds 2 LUT4s and 2 FFs (an SRL16 occupies a LUT
+  // position). Real packing shares slices between logic and registers
+  // imperfectly; the fill factor matches typical map reports for
+  // small/medium designs.
+  const int64_t lutSlices = (r.lut4 + r.srl16 + 1) / 2;
+  const int64_t ffSlices = (r.ff + 1) / 2;
+  const double packed = std::max(lutSlices, ffSlices) +
+                        0.35 * static_cast<double>(std::min(lutSlices, ffSlices));
+  return static_cast<int64_t>(std::ceil(packed));
+}
+
+namespace {
+
+struct CellCost {
+  Resources res;
+  double delayNs = 0;
+};
+
+int widthOf(const rtl::Module& m, int net) { return m.nets[static_cast<size_t>(net)].type.width; }
+
+bool drivenByConst(const rtl::Module& m, int net) {
+  const int d = m.nets[static_cast<size_t>(net)].driver;
+  return d >= 0 && m.cells[static_cast<size_t>(d)].kind == rtl::CellKind::Const;
+}
+
+CellCost cost(const rtl::Module& m, const rtl::Cell& c, const EstimateOptions& opt) {
+  CellCost k;
+  const int w = c.output >= 0 ? widthOf(m, c.output) : 1;
+  switch (c.kind) {
+    case rtl::CellKind::Const:
+    case rtl::CellKind::Slice:
+    case rtl::CellKind::Concat:
+    case rtl::CellKind::Resize:
+      return k; // wiring only
+    case rtl::CellKind::Add:
+    case rtl::CellKind::Sub:
+    case rtl::CellKind::Neg:
+      k.res.lut4 = w;
+      k.delayNs = 0.62 + 0.042 * w; // LUT + MUXCY/XORCY chain
+      return k;
+    case rtl::CellKind::Mul: {
+      const int wa = widthOf(m, c.inputs[0]);
+      const int wb = widthOf(m, c.inputs[1]);
+      if (opt.useMult18) {
+        k.res.mult18 = std::max<int64_t>(1, ((wa + 16) / 17) * static_cast<int64_t>((wb + 16) / 17));
+        k.delayNs = k.res.mult18 == 1 ? 4.9 : 8.5;
+      } else {
+        k.res.lut4 = static_cast<int64_t>(0.55 * wa * wb);
+        k.delayNs = 2.8 + 0.11 * std::max(wa, wb);
+      }
+      return k;
+    }
+    case rtl::CellKind::Div:
+    case rtl::CellKind::Rem: {
+      // Un-expanded combinational array divider (only reachable with
+      // expandDividers=false): priced as W rows of subtract+mux.
+      k.res.lut4 = static_cast<int64_t>(w) * (w + 2);
+      k.delayNs = w * (0.62 + 0.042 * w);
+      return k;
+    }
+    case rtl::CellKind::And:
+    case rtl::CellKind::Or:
+    case rtl::CellKind::Xor:
+    case rtl::CellKind::Not:
+      k.res.lut4 = (w + 1) / 2; // two bits of 2-input logic per LUT4
+      k.delayNs = 0.44;
+      return k;
+    case rtl::CellKind::Shl:
+    case rtl::CellKind::Shr: {
+      if (drivenByConst(m, c.inputs[1])) return k; // constant shift = wiring
+      const int levels = static_cast<int>(std::ceil(std::log2(std::max(2, w))));
+      k.res.lut4 = static_cast<int64_t>(w) * levels / 2;
+      k.delayNs = 0.44 * levels + 0.3;
+      return k;
+    }
+    case rtl::CellKind::Eq:
+    case rtl::CellKind::Ne:
+    case rtl::CellKind::Lt:
+    case rtl::CellKind::Le:
+    case rtl::CellKind::Gt:
+    case rtl::CellKind::Ge: {
+      const int cw = std::max(widthOf(m, c.inputs[0]), widthOf(m, c.inputs[1]));
+      k.res.lut4 = (cw + 1) / 2 + 1;
+      k.delayNs = 0.55 + 0.035 * cw;
+      return k;
+    }
+    case rtl::CellKind::Mux:
+      k.res.lut4 = w; // 2:1 mux per bit (LUT3)
+      k.delayNs = 0.5;
+      return k;
+    case rtl::CellKind::Reg:
+      k.res.ff = w;
+      k.delayNs = 0; // clock-to-out folded into clockingOverheadNs
+      return k;
+    case rtl::CellKind::Rom: {
+      const int64_t bits = static_cast<int64_t>(c.romData.size()) * w;
+      if (bits > opt.romBramThresholdBits) {
+        k.res.bram = (bits + 18 * 1024 - 1) / (18 * 1024);
+        k.delayNs = 2.9; // BRAM access
+      } else {
+        // Distributed ROM: each LUT4 stores 16x1.
+        const int64_t depth16 = std::max<int64_t>(1, (static_cast<int64_t>(c.romData.size()) + 15) / 16);
+        k.res.lut4 = depth16 * w;
+        const int muxLevels = static_cast<int>(std::ceil(std::log2(static_cast<double>(depth16))));
+        k.delayNs = 0.44 + 0.4 * std::max(0, muxLevels);
+      }
+      return k;
+    }
+  }
+  return k;
+}
+
+} // namespace
+
+Report estimate(const rtl::Module& m, const EstimateOptions& opt) {
+  Report rep;
+
+  // SRL16 inference: register chains (reg -> reg, fanout 1, no enable)
+  // of depth >= 3 become shift-register LUTs: width * ceil((k-1)/16)
+  // SRL16s plus one output register stage.
+  std::vector<char> regAsSrl(m.cells.size(), 0);
+  if (opt.inferSrl16) {
+    std::vector<int> fanout(m.nets.size(), 0);
+    for (const auto& c : m.cells) {
+      for (int in : c.inputs) ++fanout[static_cast<size_t>(in)];
+    }
+    for (int p : m.outputPorts) ++fanout[static_cast<size_t>(p)];
+    auto isChainReg = [&](const rtl::Cell& c) {
+      return c.kind == rtl::CellKind::Reg && c.inputs.size() == 1;
+    };
+    // Walk chains from their heads (a chain reg whose input is NOT a
+    // single-fanout chain reg).
+    for (const auto& c : m.cells) {
+      if (!isChainReg(c)) continue;
+      const int drv = m.nets[static_cast<size_t>(c.inputs[0])].driver;
+      const bool headOfChain =
+          drv < 0 || !isChainReg(m.cells[static_cast<size_t>(drv)]) ||
+          fanout[static_cast<size_t>(c.inputs[0])] > 1;
+      if (!headOfChain) continue;
+      // Extend forward while the output feeds exactly one chain reg.
+      std::vector<int> chain = {c.id};
+      int cur = c.id;
+      for (;;) {
+        const int out = m.cells[static_cast<size_t>(cur)].output;
+        if (fanout[static_cast<size_t>(out)] != 1) break;
+        int nextReg = -1;
+        for (const auto& cc : m.cells) {
+          if (isChainReg(cc) && !cc.inputs.empty() && cc.inputs[0] == out) nextReg = cc.id;
+        }
+        if (nextReg < 0) break;
+        chain.push_back(nextReg);
+        cur = nextReg;
+      }
+      if (chain.size() >= 3) {
+        const int w = m.nets[static_cast<size_t>(c.output)].type.width;
+        // All but the final stage collapse into SRL16s.
+        const int64_t depth = static_cast<int64_t>(chain.size()) - 1;
+        rep.res.srl16 += w * ((depth + 15) / 16);
+        rep.res.ff += w; // the chain's output register
+        for (size_t i = 0; i < chain.size(); ++i) regAsSrl[static_cast<size_t>(chain[i])] = 1;
+      }
+    }
+  }
+
+  std::vector<double> cellDelay(m.cells.size(), 0);
+  for (const auto& c : m.cells) {
+    if (regAsSrl[static_cast<size_t>(c.id)]) continue; // priced as SRL16 above
+    const CellCost k = cost(m, c, opt);
+    rep.res += k.res;
+    cellDelay[static_cast<size_t>(c.id)] = k.delayNs;
+  }
+  rep.slices = slicesFor(rep.res);
+
+  // Longest combinational path: DFS with memoization over the cell DAG
+  // (registers and inputs are path sources). arrival(cell) = max over
+  // combinational fan-in of arrival + routing, + own delay.
+  std::vector<double> arrival(m.cells.size(), -1.0);
+  std::function<double(int)> arrivalOf = [&](int cid) -> double {
+    double& a = arrival[static_cast<size_t>(cid)];
+    if (a >= 0) return a;
+    const rtl::Cell& c = m.cells[static_cast<size_t>(cid)];
+    a = 0; // break cycles defensively (registers are never recursed into)
+    double in = 0;
+    for (int net : c.inputs) {
+      const int drv = m.nets[static_cast<size_t>(net)].driver;
+      if (drv < 0) continue; // module input
+      const rtl::Cell& dc = m.cells[static_cast<size_t>(drv)];
+      if (dc.kind == rtl::CellKind::Reg || dc.kind == rtl::CellKind::Const) continue;
+      in = std::max(in, arrivalOf(drv) + opt.routingPerHopNs);
+    }
+    a = in + cellDelay[static_cast<size_t>(cid)];
+    return a;
+  };
+
+  double worst = 0;
+  std::string worstName = "(none)";
+  for (const auto& c : m.cells) {
+    const double a = arrivalOf(c.id);
+    if (a > worst) {
+      worst = a;
+      worstName = c.output >= 0 ? m.nets[static_cast<size_t>(c.output)].name : cellKindName(c.kind);
+    }
+  }
+  rep.criticalPathNs = std::max(0.8, worst) + opt.clockingOverheadNs;
+  rep.criticalThrough = worstName;
+  return rep;
+}
+
+Resources memorySubsystemResources(int64_t bufferBits, int addressGenerators, int streams) {
+  Resources r;
+  // Smart-buffer storage in SRL16s/FFs: model as FF-based line storage with
+  // one LUT per 8 bits of shifting/muxing plus the controller FSMs
+  // ("pre-existing parameterized FSMs in a VHDL library").
+  r.ff = bufferBits;
+  r.lut4 = bufferBits / 4;
+  r.lut4 += int64_t{28} * addressGenerators; // counters + comparators
+  r.ff += int64_t{20} * addressGenerators;
+  r.lut4 += int64_t{36} * streams; // per-stream handshake/valid logic
+  r.ff += int64_t{12} * streams;
+  r.lut4 += 40; // higher-level controller
+  r.ff += 16;
+  return r;
+}
+
+double estimatePowerMw(const Resources& r, double clockMHz, double activity) {
+  // Virtex-II 1.5 V core, ~90 nm-era switched capacitance per resource:
+  // LUT ~4 pF effective (logic + local routing), FF ~2 pF, MULT18X18 block
+  // ~60 pF, BRAM ~90 pF per access. P = C * V^2 * f * activity.
+  const double vdd = 1.5;
+  const double capPf = 4.0 * static_cast<double>(r.lut4) + 2.0 * static_cast<double>(r.ff) +
+                       60.0 * static_cast<double>(r.mult18) + 90.0 * static_cast<double>(r.bram);
+  // pF * V^2 * MHz = microwatts; convert to milliwatts.
+  return capPf * vdd * vdd * clockMHz * activity / 1000.0;
+}
+
+std::string Report::summary() const {
+  std::ostringstream os;
+  os << "slices=" << slices << " (lut4=" << res.lut4 << ", ff=" << res.ff
+     << ", srl16=" << res.srl16 << ", mult18=" << res.mult18 << ", bram=" << res.bram
+     << "), fmax=" << fmaxMHz()
+     << " MHz (critical " << criticalPathNs << " ns through " << criticalThrough << ")";
+  return os.str();
+}
+
+} // namespace roccc::synth

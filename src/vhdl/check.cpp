@@ -1,0 +1,306 @@
+#include "vhdl/check.hpp"
+
+#include <cctype>
+#include <map>
+#include <set>
+
+#include "support/strings.hpp"
+
+namespace roccc::vhdl {
+
+namespace {
+
+struct Tok {
+  std::string text; ///< lower-cased word, or single punctuation
+  int line = 0;
+};
+
+std::vector<Tok> tokenize(const std::string& s) {
+  std::vector<Tok> out;
+  int line = 1;
+  for (size_t i = 0; i < s.size();) {
+    const char c = s[i];
+    if (c == '\n') {
+      ++line;
+      ++i;
+      continue;
+    }
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    if (c == '-' && i + 1 < s.size() && s[i + 1] == '-') {
+      while (i < s.size() && s[i] != '\n') ++i;
+      continue;
+    }
+    if (c == '"') { // string literal
+      std::string lit = "\"";
+      ++i;
+      while (i < s.size() && s[i] != '"') lit += s[i++];
+      lit += '"';
+      ++i;
+      out.push_back({lit, line});
+      continue;
+    }
+    if (c == '\'') { // character literal like '1'
+      if (i + 2 < s.size() && s[i + 2] == '\'') {
+        out.push_back({s.substr(i, 3), line});
+        i += 3;
+        continue;
+      }
+      ++i;
+      continue;
+    }
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      std::string w;
+      while (i < s.size() && (std::isalnum(static_cast<unsigned char>(s[i])) || s[i] == '_')) {
+        w += static_cast<char>(std::tolower(static_cast<unsigned char>(s[i])));
+        ++i;
+      }
+      out.push_back({w, line});
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      std::string w;
+      while (i < s.size() && std::isalnum(static_cast<unsigned char>(s[i]))) w += s[i++];
+      out.push_back({w, line});
+      continue;
+    }
+    // multi-char operators
+    static const char* two[] = {"<=", ">=", "=>", "/=", ":="};
+    bool matched = false;
+    for (const char* t : two) {
+      if (s.compare(i, 2, t) == 0) {
+        out.push_back({t, line});
+        i += 2;
+        matched = true;
+        break;
+      }
+    }
+    if (matched) continue;
+    out.push_back({std::string(1, c), line});
+    ++i;
+  }
+  return out;
+}
+
+bool isIdent(const std::string& t) {
+  return !t.empty() && (std::isalpha(static_cast<unsigned char>(t[0])) || t[0] == '_');
+}
+
+} // namespace
+
+CheckResult checkDesign(const std::string& text) {
+  CheckResult r;
+  const std::vector<Tok> toks = tokenize(text);
+  auto problem = [&](int line, const std::string& msg) {
+    r.ok = false;
+    r.problems.push_back(fmt("line %0: %1", line, msg));
+  };
+
+  std::set<std::string> entities;
+  std::set<std::string> architecturesOf;
+  std::vector<std::string> instantiated; // entity names referenced via work.X
+
+  // Pass 1: entity declarations and their end labels; block balance.
+  // We track a stack of open constructs: entity, architecture, process,
+  // if, case.
+  struct Open {
+    std::string kind;
+    std::string name;
+    int line;
+  };
+  std::vector<Open> stack;
+
+  for (size_t i = 0; i < toks.size(); ++i) {
+    const Tok& t = toks[i];
+    auto next = [&](size_t k) -> const Tok& {
+      static const Tok sentinel{"", 0};
+      return i + k < toks.size() ? toks[i + k] : sentinel;
+    };
+    if (t.text == "entity") {
+      // Either "entity NAME is" (declaration) or "entity work.NAME" (inst).
+      if (next(1).text == "work" && next(2).text == ".") {
+        instantiated.push_back(next(3).text);
+        ++r.instantiationCount;
+        continue;
+      }
+      if (next(2).text == "is") {
+        entities.insert(next(1).text);
+        ++r.entityCount;
+        stack.push_back({"entity", next(1).text, t.line});
+        i += 2;
+        continue;
+      }
+    }
+    if (t.text == "architecture" && next(2).text == "of") {
+      // architecture NAME of ENTITY is
+      architecturesOf.insert(next(3).text);
+      ++r.architectureCount;
+      stack.push_back({"architecture", next(3).text, t.line});
+      i += 3;
+      continue;
+    }
+    if (t.text == "process") {
+      // could be "end process"
+      bool isEnd = i > 0 && toks[i - 1].text == "end";
+      if (!isEnd) {
+        ++r.processCount;
+        stack.push_back({"process", "", t.line});
+      }
+      continue;
+    }
+    if (t.text == "if" && !stack.empty() && stack.back().kind == "process-body") {
+      // handled below via simple if counting
+    }
+    if (t.text == "if") {
+      // "end if" handled by the end matcher; only count "if ... then".
+      bool isEnd = i > 0 && toks[i - 1].text == "end";
+      if (!isEnd) stack.push_back({"if", "", t.line});
+      continue;
+    }
+    if (t.text == "end") {
+      const std::string& what = next(1).text;
+      if (what == "if") {
+        if (stack.empty() || stack.back().kind != "if") {
+          problem(t.line, "'end if' without open if");
+        } else {
+          stack.pop_back();
+        }
+        i += 1;
+        continue;
+      }
+      if (what == "process") {
+        if (stack.empty() || stack.back().kind != "process") {
+          problem(t.line, "'end process' without open process");
+        } else {
+          stack.pop_back();
+        }
+        i += 1;
+        continue;
+      }
+      if (what == "entity") {
+        if (stack.empty() || stack.back().kind != "entity") {
+          problem(t.line, "'end entity' without open entity");
+        } else {
+          const std::string declared = stack.back().name;
+          if (isIdent(next(2).text) && next(2).text != declared) {
+            problem(t.line, fmt("entity end label '%0' does not match '%1'", next(2).text, declared));
+          }
+          stack.pop_back();
+        }
+        i += 1;
+        continue;
+      }
+      if (what == "architecture") {
+        if (stack.empty() || stack.back().kind != "architecture") {
+          problem(t.line, "'end architecture' without open architecture");
+        } else {
+          stack.pop_back();
+        }
+        i += 1;
+        continue;
+      }
+    }
+  }
+  for (const auto& open : stack) {
+    problem(open.line, fmt("unclosed %0 %1", open.kind, open.name));
+  }
+
+  // Every architecture must belong to a declared entity, and vice versa.
+  for (const auto& a : architecturesOf) {
+    if (!entities.count(a)) problem(0, fmt("architecture of unknown entity '%0'", a));
+  }
+  for (const auto& e : entities) {
+    if (!architecturesOf.count(e)) problem(0, fmt("entity '%0' has no architecture", e));
+  }
+  // Instantiations must resolve.
+  for (const auto& inst : instantiated) {
+    if (!entities.count(inst)) problem(0, fmt("instantiation of unknown entity '%0'", inst));
+  }
+
+  // Per-architecture declared-before-used check for signals assigned with
+  // '<=': the assignment target must be a declared signal or port.
+  // Re-scan with entity/port/signal tracking.
+  {
+    std::map<std::string, std::set<std::string>> portsOf; // entity -> names
+    std::string currentEntity;
+    bool inPorts = false;
+    for (size_t i = 0; i < toks.size(); ++i) {
+      const Tok& t = toks[i];
+      auto next = [&](size_t k) -> const Tok& {
+        static const Tok sentinel{"", 0};
+        return i + k < toks.size() ? toks[i + k] : sentinel;
+      };
+      if (t.text == "entity" && next(2).text == "is") {
+        currentEntity = next(1).text;
+        inPorts = false;
+      } else if (t.text == "port" && next(1).text == "(") {
+        inPorts = true;
+      } else if (inPorts && isIdent(t.text) && next(1).text == ":") {
+        portsOf[currentEntity].insert(t.text);
+      } else if (t.text == "end") {
+        inPorts = false;
+      }
+    }
+
+    std::string archEntity;
+    std::set<std::string> visible;
+    bool inBody = false;
+    int depth = 0;
+    for (size_t i = 0; i < toks.size(); ++i) {
+      const Tok& t = toks[i];
+      auto next = [&](size_t k) -> const Tok& {
+        static const Tok sentinel{"", 0};
+        return i + k < toks.size() ? toks[i + k] : sentinel;
+      };
+      if (t.text == "architecture" && next(2).text == "of") {
+        archEntity = next(3).text;
+        visible = portsOf[archEntity];
+        inBody = false;
+        depth = 0;
+        continue;
+      }
+      if (archEntity.empty()) continue;
+      if (t.text == "signal" && isIdent(next(1).text)) {
+        visible.insert(next(1).text);
+        continue;
+      }
+      if (t.text == "constant" && isIdent(next(1).text)) {
+        visible.insert(next(1).text);
+        continue;
+      }
+      if (!inBody && t.text == "begin") {
+        inBody = true;
+        continue;
+      }
+      if (t.text == "process") ++depth;
+      if (t.text == "end") {
+        if (next(1).text == "process") {
+          --depth;
+        } else if (next(1).text == "architecture") {
+          archEntity.clear();
+          inBody = false;
+        }
+        continue;
+      }
+      if (inBody && isIdent(t.text) && next(1).text == "<=" && i > 0) {
+        // Only treat as a signal assignment when the identifier starts a
+        // statement; '<=' after an expression context (if/when/loop
+        // conditions, operands) is the relational operator.
+        const std::string& prev = toks[i - 1].text;
+        const bool stmtStart = prev == ";" || prev == "begin" || prev == "then" ||
+                               prev == "else" || prev == "loop" || prev == "generate";
+        if (!stmtStart) continue;
+        if (!visible.count(t.text)) {
+          problem(t.line, fmt("assignment to undeclared signal '%0' in architecture of '%1'",
+                              t.text, archEntity));
+        }
+      }
+    }
+  }
+
+  return r;
+}
+
+} // namespace roccc::vhdl

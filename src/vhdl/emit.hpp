@@ -1,0 +1,31 @@
+// RTL VHDL generation (paper section 4.2.4): "ROCCC generates one VHDL
+// component for each CFG node that goes to hardware. In a node, every
+// virtual register is single assigned and is converted into wires ...
+// instructions become combinational or sequential VHDL statement according
+// to whether the instruction needs latched or not. A LUT instruction
+// invokes an instantiation of a lookup table component."
+//
+// Emission layout:
+//   - one entity per data-path node (soft, mux, pipe), combinational ops as
+//     concurrent signal assignments, node-internal pipeline latches in a
+//     clocked process,
+//   - lookup tables as ROM entities with a constant-array architecture,
+//   - a top entity instantiating every node, carrying cross-node pipeline
+//     registers and the LPR/SNX feedback registers (with reset values).
+#pragma once
+
+#include <string>
+
+#include "dp/datapath.hpp"
+#include "hlir/kernel.hpp"
+#include "rtl/netlist.hpp"
+
+namespace roccc::vhdl {
+
+/// Emits the complete VHDL design for a compiled kernel. `module` provides
+/// the flat netlist statistics embedded as a header comment; the entities
+/// themselves are generated from the data path.
+std::string emitDesign(const dp::DataPath& dp, const rtl::Module& module,
+                       const hlir::KernelInfo& kernel);
+
+} // namespace roccc::vhdl

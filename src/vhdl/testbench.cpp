@@ -1,0 +1,147 @@
+#include "vhdl/testbench.hpp"
+
+#include <cctype>
+
+#include "dp/eval.hpp"
+#include "support/strings.hpp"
+
+namespace roccc::vhdl {
+
+namespace {
+
+std::string sanitize(const std::string& s) {
+  std::string out;
+  for (char c : s) {
+    if (std::isalnum(static_cast<unsigned char>(c))) {
+      out += c;
+    } else if (!out.empty() && out.back() != '_') {
+      out += '_';
+    }
+  }
+  while (!out.empty() && out.back() == '_') out.pop_back();
+  if (out.empty() || std::isdigit(static_cast<unsigned char>(out[0]))) out = "s_" + out;
+  return out;
+}
+
+std::string literal(const Value& v, ScalarType t) {
+  return fmt("to_%0(%1, %2)", t.isSigned ? "signed" : "unsigned", v.convertTo(t).toInt(), t.width);
+}
+
+} // namespace
+
+std::vector<TestVector> makeVectors(const dp::DataPath& dp,
+                                    const std::vector<std::vector<int64_t>>& inputSets) {
+  std::vector<TestVector> vectors;
+  std::map<std::string, Value> feedback;
+  for (const auto& set : inputSets) {
+    TestVector v;
+    for (size_t p = 0; p < dp.inputs.size(); ++p) {
+      v.inputs.push_back(Value::fromInt(dp.inputs[p].type, set.at(p)));
+    }
+    const dp::EvalResult r = dp::evaluate(dp, v.inputs, feedback);
+    v.expectedOutputs = r.outputs;
+    feedback = r.nextFeedback;
+    vectors.push_back(std::move(v));
+  }
+  return vectors;
+}
+
+std::string emitTestbench(const dp::DataPath& dp, const std::vector<TestVector>& vectors) {
+  IndentWriter w;
+  const std::string top = sanitize(dp.name);
+  const std::string name = top + "_tb";
+  const int latency = dp.stageCount - 1;
+  const size_t n = vectors.size();
+
+  w.line("-- Self-checking testbench for '" + top + "' (generated with the cosimulation");
+  w.line(fmt("-- vectors; pipeline latency %0 cycles).", latency));
+  w.line("library ieee;");
+  w.line("use ieee.std_logic_1164.all;");
+  w.line("use ieee.numeric_std.all;");
+  w.blank();
+  w.line("entity " + name + " is");
+  w.line("end entity " + name + ";");
+  w.blank();
+  w.line("architecture sim of " + name + " is");
+  w.indent();
+  w.line("signal clk : std_logic := '0';");
+  w.line("signal ce  : std_logic := '1';");
+  w.line("signal tb_valid : std_logic := '1';");
+  w.line("signal done : boolean := false;");
+  for (const auto& p : dp.inputs) {
+    w.line(fmt("signal %0 : %1(%2 downto 0);", sanitize(p.name),
+               p.type.isSigned ? "signed" : "unsigned", p.type.width - 1));
+  }
+  for (const auto& p : dp.outputs) {
+    w.line(fmt("signal %0 : %1(%2 downto 0);", sanitize(p.name),
+               p.type.isSigned ? "signed" : "unsigned", p.type.width - 1));
+  }
+  // Stimulus/expectation ROMs.
+  for (size_t ip = 0; ip < dp.inputs.size(); ++ip) {
+    const auto& p = dp.inputs[ip];
+    std::vector<std::string> vals;
+    for (const auto& v : vectors) vals.push_back(literal(v.inputs[ip], p.type));
+    w.line(fmt("type %0_vec_t is array (0 to %1) of %2(%3 downto 0);", sanitize(p.name), n - 1,
+               p.type.isSigned ? "signed" : "unsigned", p.type.width - 1));
+    w.line(fmt("constant %0_vec : %0_vec_t := (%1);", sanitize(p.name), join(vals, ", ")));
+  }
+  for (size_t op = 0; op < dp.outputs.size(); ++op) {
+    const auto& p = dp.outputs[op];
+    std::vector<std::string> vals;
+    for (const auto& v : vectors) vals.push_back(literal(v.expectedOutputs[op], p.type));
+    w.line(fmt("type %0_exp_t is array (0 to %1) of %2(%3 downto 0);", sanitize(p.name), n - 1,
+               p.type.isSigned ? "signed" : "unsigned", p.type.width - 1));
+    w.line(fmt("constant %0_exp : %0_exp_t := (%1);", sanitize(p.name), join(vals, ", ")));
+  }
+  w.dedent();
+  w.line("begin");
+  w.indent();
+  w.line("clk <= not clk after 5 ns when not done else '0';");
+  w.blank();
+  std::vector<std::string> assoc = {"clk => clk", "ce => ce"};
+  if (!dp.feedbacks.empty()) assoc.push_back("valid => tb_valid");
+  for (const auto& p : dp.inputs) assoc.push_back(sanitize(p.name) + " => " + sanitize(p.name));
+  for (const auto& p : dp.outputs) assoc.push_back(sanitize(p.name) + " => " + sanitize(p.name));
+  w.line("dut : entity work." + top);
+  w.indent();
+  w.line("port map (" + join(assoc, ", ") + ");");
+  w.dedent();
+  w.blank();
+  w.line("stimulus : process");
+  w.line("begin");
+  w.indent();
+  w.line(fmt("for t in 0 to %0 loop", n - 1 + static_cast<size_t>(latency)));
+  w.indent();
+  for (size_t ip = 0; ip < dp.inputs.size(); ++ip) {
+    const std::string nm = sanitize(dp.inputs[ip].name);
+    w.line(fmt("if t <= %0 then %1 <= %1_vec(t); end if;", n - 1, nm));
+  }
+  w.line("wait until rising_edge(clk);");
+  if (latency > 0) w.line(fmt("if t >= %0 then", latency));
+  if (latency > 0) w.indent();
+  for (size_t op = 0; op < dp.outputs.size(); ++op) {
+    const std::string nm = sanitize(dp.outputs[op].name);
+    const std::string idx = latency > 0 ? fmt("t - %0", latency) : std::string("t");
+    w.line(fmt("assert %0 = %0_exp(%1)", nm, idx));
+    w.indent();
+    w.line(fmt("report \"mismatch on %0 at vector \" & integer'image(%1) severity failure;", nm, idx));
+    w.dedent();
+  }
+  if (latency > 0) {
+    w.dedent();
+    w.line("end if;");
+  }
+  w.dedent();
+  w.line("end loop;");
+  w.line("tb_valid <= '0';");
+  w.line("report \"TESTBENCH PASSED\" severity note;");
+  w.line("done <= true;");
+  w.line("wait;");
+  w.dedent();
+  w.line("end process;");
+  w.dedent();
+  w.line("end architecture sim;");
+  return w.str();
+}
+
+} // namespace roccc::vhdl

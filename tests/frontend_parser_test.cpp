@@ -1,0 +1,295 @@
+#include <gtest/gtest.h>
+
+#include "frontend/lexer.hpp"
+#include "frontend/parser.hpp"
+#include "frontend/sema.hpp"
+
+namespace roccc::ast {
+namespace {
+
+Module parseOk(const std::string& src) {
+  DiagEngine diags;
+  Module m = parse(src, diags);
+  EXPECT_FALSE(diags.hasErrors()) << diags.dump();
+  return m;
+}
+
+Module parseAndAnalyze(const std::string& src) {
+  DiagEngine diags;
+  Module m = parse(src, diags);
+  EXPECT_FALSE(diags.hasErrors()) << diags.dump();
+  analyze(m, diags);
+  EXPECT_FALSE(diags.hasErrors()) << diags.dump();
+  return m;
+}
+
+void expectErrorContaining(const std::string& src, const std::string& needle) {
+  DiagEngine diags;
+  Module m = parse(src, diags);
+  if (!diags.hasErrors()) analyze(m, diags);
+  ASSERT_TRUE(diags.hasErrors()) << "expected an error mentioning: " << needle;
+  EXPECT_NE(diags.dump().find(needle), std::string::npos) << diags.dump();
+}
+
+TEST(Lexer, TokensAndComments) {
+  DiagEngine diags;
+  auto toks = lex("int x = 0x1F; // comment\n/* block */ y <<= 2", diags);
+  // "<<=" lexes as Shl then Assign in this subset (no <<= operator).
+  ASSERT_FALSE(diags.hasErrors());
+  EXPECT_EQ(toks[0].kind, TokKind::KwInt);
+  EXPECT_EQ(toks[1].text, "x");
+  EXPECT_EQ(toks[2].kind, TokKind::Assign);
+  EXPECT_EQ(toks[3].intValue, 31);
+  EXPECT_EQ(toks[5].text, "y");
+  EXPECT_EQ(toks[6].kind, TokKind::Shl);
+}
+
+TEST(Lexer, CharLiteralAndLocations) {
+  DiagEngine diags;
+  auto toks = lex("x = 'A';\ny = 10;", diags);
+  ASSERT_FALSE(diags.hasErrors());
+  EXPECT_EQ(toks[2].intValue, 65);
+  // 'y' starts line 2.
+  EXPECT_EQ(toks[4].loc.line, 2);
+  EXPECT_EQ(toks[4].loc.column, 1);
+}
+
+TEST(Lexer, ReportsBadCharacters) {
+  DiagEngine diags;
+  lex("int a = $;", diags);
+  EXPECT_TRUE(diags.hasErrors());
+}
+
+TEST(TypeNames, SizedAliases) {
+  EXPECT_EQ(parseTypeName("int12")->width, 12);
+  EXPECT_TRUE(parseTypeName("int12")->isSigned);
+  EXPECT_EQ(parseTypeName("uint5")->width, 5);
+  EXPECT_FALSE(parseTypeName("uint5")->isSigned);
+  EXPECT_FALSE(parseTypeName("integer").has_value());
+  EXPECT_FALSE(parseTypeName("uintx").has_value());
+  EXPECT_FALSE(parseTypeName("int0").has_value());
+  EXPECT_FALSE(parseTypeName("foo").has_value());
+}
+
+TEST(Parser, FivetapFirFromPaper) {
+  // Figure 3 (a), with declarations added to make it a complete kernel.
+  Module m = parseOk(R"(
+    void fir(const int16 A[21], int16 C[17]) {
+      int i;
+      for (i = 0; i < 17; i = i + 1) {
+        C[i] = 3*A[i] + 5*A[i+1] + 7*A[i+2] + 9*A[i+3] - A[i+4];
+      }
+    }
+  )");
+  ASSERT_EQ(m.functions.size(), 1u);
+  const Function& f = m.functions[0];
+  EXPECT_EQ(f.name, "fir");
+  ASSERT_EQ(f.params.size(), 2u);
+  EXPECT_TRUE(f.params[0].type.isArray());
+  EXPECT_EQ(f.params[0].mode, ParamMode::In);
+  EXPECT_EQ(f.params[1].mode, ParamMode::Out);
+  EXPECT_EQ(f.params[0].type.scalar.width, 16);
+}
+
+TEST(Parser, ForStepForms) {
+  for (const char* step : {"i = i + 2", "i += 2"}) {
+    Module m = parseOk(std::string("void k(int* o) { int i; int s; s = 0; for (i = 0; i < 10; ") + step +
+                       ") { s = s + i; } *o = s; }");
+    bool found = false;
+    forEachStmt(*m.functions[0].body, [&](const Stmt& s) {
+      if (s.kind == StmtKind::For) {
+        EXPECT_EQ(static_cast<const ForStmt&>(s).step, 2);
+        found = true;
+      }
+    });
+    EXPECT_TRUE(found);
+  }
+  for (const char* step : {"i++", "++i", "i = i + 1"}) {
+    Module m = parseOk(std::string("void k(int* o) { int i; for (i = 0; i < 4; ") + step + ") { *o = i; } }");
+    forEachStmt(*m.functions[0].body, [&](const Stmt& s) {
+      if (s.kind == StmtKind::For) EXPECT_EQ(static_cast<const ForStmt&>(s).step, 1);
+    });
+  }
+}
+
+TEST(Parser, InclusiveBoundNormalized) {
+  Module m = parseOk("void k(int* o) { int i; for (i = 0; i <= 9; i++) { *o = i; } }");
+  forEachStmt(*m.functions[0].body, [&](const Stmt& s) {
+    if (s.kind == StmtKind::For) {
+      const auto& f = static_cast<const ForStmt&>(s);
+      EXPECT_EQ(evalConstant(*f.end).value_or(-1), 10); // 9+1
+    }
+  });
+}
+
+TEST(Parser, IfElseFromPaperFigure5) {
+  Module m = parseAndAnalyze(R"(
+    void if_else(int x1, int x2, int* x3, int* x4) {
+      int a;
+      int c;
+      c = x1 - x2;
+      if (c < x2)
+        a = x1 * x1;
+      else
+        a = x1 * x2 + 3;
+      c = c - a;
+      *x3 = c;
+      *x4 = a;
+      return;
+    }
+  )");
+  const Function& f = m.functions[0];
+  EXPECT_EQ(f.params[2].mode, ParamMode::Out);
+  // Re-print and re-parse (round trip).
+  const std::string printed = printFunction(f);
+  DiagEngine diags2;
+  Module m2 = parse(printed, diags2);
+  EXPECT_FALSE(diags2.hasErrors()) << printed << "\n" << diags2.dump();
+  EXPECT_TRUE(analyze(m2, diags2)) << diags2.dump();
+}
+
+TEST(Parser, GlobalConstTable) {
+  Module m = parseOk("const int16 TBL[4] = {1, -2, 3, 0x10};\nvoid k(int* o) { *o = 0; }");
+  ASSERT_EQ(m.globals.size(), 1u);
+  EXPECT_TRUE(m.globals[0].isConst);
+  EXPECT_EQ(m.globals[0].init.size(), 4u);
+  EXPECT_EQ(m.globals[0].init[1], -2);
+  EXPECT_EQ(m.globals[0].init[3], 16);
+}
+
+TEST(Parser, TwoDimensionalArrays) {
+  Module m = parseAndAnalyze(R"(
+    void wavelet(const int16 X[8][8], int16 Y[8][8]) {
+      int i;
+      int j;
+      for (i = 0; i < 8; i++) {
+        for (j = 0; j < 8; j++) {
+          Y[i][j] = X[i][j] * 2;
+        }
+      }
+    }
+  )");
+  EXPECT_EQ(m.functions[0].params[0].type.dims.size(), 2u);
+}
+
+TEST(Parser, CastExpressions) {
+  Module m = parseAndAnalyze("void k(int a, int* o) { int8 b; b = (int8)(a); *o = b + (int16)a; }");
+  (void)m;
+}
+
+TEST(Parser, CompoundAssignDesugars) {
+  Module m = parseOk("void k(int* o) { int s; s = 0; s += 5; s -= 2; *o = s; }");
+  int assigns = 0;
+  forEachStmt(*m.functions[0].body, [&](const Stmt& s) {
+    if (s.kind == StmtKind::Assign) ++assigns;
+  });
+  EXPECT_EQ(assigns, 4);
+}
+
+TEST(Parser, ErrorRecoveryKeepsGoing) {
+  DiagEngine diags;
+  Module m = parse("void k(int* o) { *o = ; }\nvoid j(int* p) { *p = 1; }", diags);
+  EXPECT_TRUE(diags.hasErrors());
+  EXPECT_EQ(m.functions.size(), 2u); // second function still parsed
+}
+
+TEST(Parser, PrecedenceMatchesC) {
+  Module m = parseOk("void k(int a, int b, int* o) { *o = a + b * 3 - (a & 7) + (a << 2); }");
+  const std::string p = printFunction(m.functions[0]);
+  EXPECT_NE(p.find("a + b * 3"), std::string::npos) << p;
+}
+
+// --- sema ---------------------------------------------------------------
+
+TEST(Sema, ResolvesAndTypes) {
+  Module m = parseAndAnalyze("void k(int12 a, int12 b, int* o) { *o = a * b; }");
+  // a*b promotes to int32.
+  forEachExprInStmt(*m.functions[0].body, [](const Expr& e) {
+    if (e.kind == ExprKind::Binary && static_cast<const BinaryExpr&>(e).op == BinOp::Mul) {
+      EXPECT_EQ(e.type, ScalarType::intTy());
+    }
+  });
+}
+
+TEST(Sema, ComparisonIsOneBit) {
+  Module m = parseAndAnalyze("void k(int a, int b, int* o) { *o = a < b; }");
+  forEachExprInStmt(*m.functions[0].body, [](const Expr& e) {
+    if (e.kind == ExprKind::Binary && static_cast<const BinaryExpr&>(e).op == BinOp::Lt) {
+      EXPECT_EQ(e.type.width, 1);
+      EXPECT_FALSE(e.type.isSigned);
+    }
+  });
+}
+
+TEST(Sema, RejectsWideTypes) {
+  expectErrorContaining("void k(int33 a, int* o) { *o = a; }", "32 bits");
+}
+
+TEST(Sema, RejectsUndeclared) {
+  expectErrorContaining("void k(int* o) { *o = q; }", "undeclared");
+}
+
+TEST(Sema, RejectsReadingOutParam) {
+  expectErrorContaining("void k(int* o) { *o = *o; }", "");
+}
+
+TEST(Sema, RejectsRecursion) {
+  expectErrorContaining("void k(int* o) { k(o); }", "recursion");
+  expectErrorContaining(
+      "void a(int* o) { b(o); }\nvoid b(int* o) { a(o); }", "recursion");
+}
+
+TEST(Sema, RejectsConstAssignment) {
+  expectErrorContaining("const int16 T[2] = {1,2};\nvoid k(int* o) { T[0] = 3; *o = 0; }", "const");
+}
+
+TEST(Sema, RejectsOutArrayRead) {
+  expectErrorContaining("void k(const int8 A[4], int8 C[4]) { int i; for (i=0;i<4;i++) { C[i] = C[i] + A[i]; } }",
+                        "cannot be read");
+}
+
+TEST(Sema, RejectsBadDimensionality) {
+  expectErrorContaining("void k(const int8 A[4][4], int8* o) { *o = A[1]; }", "dimensions");
+}
+
+TEST(Sema, ConstantIndexBoundsChecked) {
+  expectErrorContaining("void k(const int8 A[4], int8* o) { *o = A[4]; }", "out of bounds");
+}
+
+TEST(Sema, StoreNextTypesFeedback) {
+  Module m = parseAndAnalyze(R"(
+    int sum = 0;
+    void acc(int a, int* out) {
+      int t;
+      t = ROCCC_load_prev(sum) + a;
+      ROCCC_store2next(sum, t);
+      *out = sum;
+    }
+  )");
+  (void)m;
+}
+
+TEST(Sema, LookupRequiresConstTable) {
+  expectErrorContaining("int16 T[4];\nvoid k(uint2 i, int16* o) { *o = ROCCC_lookup(T, i); }",
+                        "const");
+}
+
+TEST(Sema, CosTypesAre10In16Out) {
+  Module m = parseAndAnalyze("void k(uint10 p, int16* o) { *o = ROCCC_cos(p); }");
+  forEachExprInStmt(*m.functions[0].body, [](const Expr& e) {
+    if (e.kind == ExprKind::Call) {
+      EXPECT_EQ(e.type, ScalarType::make(16, true));
+    }
+  });
+}
+
+TEST(Sema, BitSelectWidths) {
+  Module m = parseAndAnalyze("void k(uint8 x, uint4* o) { *o = ROCCC_bit_select(x, 7, 4); }");
+  forEachExprInStmt(*m.functions[0].body, [](const Expr& e) {
+    if (e.kind == ExprKind::Call) EXPECT_EQ(e.type.width, 4);
+  });
+  expectErrorContaining("void k(uint8 x, uint4* o) { *o = ROCCC_bit_select(x, 2, 5); }", "hi >= lo");
+}
+
+} // namespace
+} // namespace roccc::ast

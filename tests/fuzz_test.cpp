@@ -1,0 +1,254 @@
+// Randomized end-to-end property testing: generate random streaming kernels
+// in the ROCCC subset, compile them through the full pipeline, and check
+// that the cycle-accurate hardware matches the AST interpreter bit-for-bit
+// on random inputs. This exercises the cross product of expression shapes,
+// types, branches, feedback, windows and strides far beyond the hand-
+// written tests.
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "frontend/parser.hpp"
+#include "frontend/sema.hpp"
+#include "hlir/cosim.hpp"
+#include "roccc/compiler.hpp"
+#include "support/strings.hpp"
+
+namespace roccc {
+namespace {
+
+class KernelFuzzer {
+ public:
+  explicit KernelFuzzer(uint64_t seed) : rng_(seed) {}
+
+  /// Generates a kernel plus matching random inputs.
+  struct Generated {
+    std::string source;
+    interp::KernelIO inputs;
+  };
+
+  Generated generate() {
+    Generated g;
+    const int taps = 1 + pick(4);               // window 1..5
+    const int stride = 1 << pick(2);            // 1 or 2
+    const int iters = 8 + pick(8);              // 8..15
+    const int inLen = stride * (iters - 1) + taps;
+    const int elemBits = 4 + pick(13);          // 4..16
+    const bool elemSigned = pick(2) == 0;
+    const ScalarType elemTy = ScalarType::make(elemBits, elemSigned);
+    useFeedback_ = pick(3) == 0;
+    useBranch_ = pick(2) == 0;
+    useInduction_ = pick(4) == 0;
+
+    std::string body = expr(3, taps, stride);
+    std::string stmts;
+    if (useBranch_) {
+      const std::string cond = fmt("%0 < %1", windowRef(taps, stride), literal());
+      stmts += fmt("      if (%0) { t = %1; } else { t = %2; }\n", cond, body, expr(2, taps, stride));
+    } else {
+      stmts += fmt("      t = %0;\n", body);
+    }
+    if (useFeedback_) {
+      stmts += "      s = s + t;\n";
+      stmts += "      C[i] = s;\n";
+    } else {
+      stmts += "      C[i] = t;\n";
+    }
+
+    g.source = fmt(R"(
+%4void k(const %0 A[%1], int32 C[%2]) {
+  int i;
+  int32 t;
+  for (i = 0; i < %2; i++) {
+%3  }
+}
+)", elemTy.str(), inLen, iters, stmts, useFeedback_ ? "int32 s = 0;\n" : "");
+
+    std::uniform_int_distribution<int64_t> dist(elemTy.minValue(), elemTy.maxValue());
+    for (int i = 0; i < inLen; ++i) g.inputs.arrays["A"].push_back(dist(rng_));
+    return g;
+  }
+
+ private:
+  std::mt19937_64 rng_;
+  bool useFeedback_ = false;
+  bool useBranch_ = false;
+  bool useInduction_ = false;
+
+  int pick(int n) { return static_cast<int>(rng_() % static_cast<uint64_t>(n)); }
+
+  std::string literal() { return std::to_string(pick(64) - 32); }
+
+  std::string windowRef(int taps, int stride) {
+    const int off = pick(taps);
+    if (stride == 1 && off == 0) return "A[i]";
+    if (stride == 1) return fmt("A[i+%0]", off);
+    return off == 0 ? fmt("A[%0*i]", stride) : fmt("A[%0*i+%1]", stride, off);
+  }
+
+  std::string expr(int depth, int taps, int stride) {
+    if (depth == 0 || pick(3) == 0) {
+      switch (pick(useInduction_ ? 3 : 2)) {
+        case 0: return windowRef(taps, stride);
+        case 1: return literal();
+        default: return "i";
+      }
+    }
+    const char* ops[] = {"+", "-", "*", "&", "|", "^", ">>", "<<"};
+    const std::string op = ops[pick(8)];
+    const std::string lhs = expr(depth - 1, taps, stride);
+    // Shift amounts must stay small and non-negative.
+    const std::string rhs = (op == ">>" || op == "<<") ? std::to_string(pick(5))
+                                                       : expr(depth - 1, taps, stride);
+    return fmt("(%0 %1 %2)", lhs, op, rhs);
+  }
+};
+
+class FuzzSweep : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(FuzzSweep, CompiledHardwareMatchesInterpreter) {
+  KernelFuzzer fuzzer(GetParam());
+  for (int round = 0; round < 8; ++round) {
+    const auto g = fuzzer.generate();
+    Compiler c;
+    const CompileResult r = c.compileSource(g.source);
+    ASSERT_TRUE(r.ok) << g.source << "\n" << r.diags.dump();
+    const CosimReport rep = cosimulate(r, g.source, g.inputs);
+    ASSERT_TRUE(rep.match) << g.source << "\n" << rep.mismatch << "\n" << r.datapath.dump();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FuzzSweep,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34, 55, 89, 144, 233));
+
+// Deep pipelining fuzz: same kernels at an aggressive stage target.
+class FuzzPipelineSweep : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(FuzzPipelineSweep, AggressivePipeliningPreservesSemantics) {
+  KernelFuzzer fuzzer(GetParam() * 7919);
+  for (int round = 0; round < 4; ++round) {
+    const auto g = fuzzer.generate();
+    CompileOptions opt;
+    opt.dpOptions.targetStageDelayNs = 1.5;
+    Compiler c(opt);
+    const CompileResult r = c.compileSource(g.source);
+    ASSERT_TRUE(r.ok) << g.source << "\n" << r.diags.dump();
+    const CosimReport rep = cosimulate(r, g.source, g.inputs);
+    ASSERT_TRUE(rep.match) << g.source << "\n" << rep.mismatch;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FuzzPipelineSweep, ::testing::Values(2, 4, 6, 10, 12));
+
+// Width-inference fuzz: inference on/off must agree.
+class FuzzWidthSweep : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(FuzzWidthSweep, AllWidthModesAgree) {
+  KernelFuzzer fuzzer(GetParam() * 104729);
+  for (int round = 0; round < 4; ++round) {
+    const auto g = fuzzer.generate();
+    CompileOptions range;
+    CompileOptions portOpcode;
+    portOpcode.dpOptions.widthMode = dp::BuildOptions::WidthMode::PortOpcode;
+    CompileOptions off;
+    off.dpOptions.inferBitWidths = false;
+    for (const CompileOptions& opt : {range, portOpcode, off}) {
+      Compiler c(opt);
+      const CompileResult r = c.compileSource(g.source);
+      ASSERT_TRUE(r.ok) << g.source;
+      const auto rep = cosimulate(r, g.source, g.inputs);
+      ASSERT_TRUE(rep.match) << g.source << "\n" << rep.mismatch << "\n" << r.datapath.dump();
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FuzzWidthSweep, ::testing::Values(3, 9, 27, 81));
+
+// 2-D kernel fuzz: nested loops, rectangular windows, line-buffered smart
+// buffers. Complements the 1-D fuzzer above.
+class Fuzz2DSweep : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(Fuzz2DSweep, TwoDimensionalKernelsMatch) {
+  std::mt19937_64 rng(GetParam() * 31337);
+  auto pick = [&](int n) { return static_cast<int>(rng() % static_cast<uint64_t>(n)); };
+  for (int round = 0; round < 4; ++round) {
+    const int wr = 1 + pick(3); // window rows 1..3
+    const int wc = 1 + pick(3); // window cols 1..3
+    const int rows = 4 + pick(3);
+    const int cols = 5 + pick(3);
+    const int inR = rows + wr - 1;
+    const int inC = cols + wc - 1;
+    const int bits = 6 + pick(9);
+    const bool sgn = pick(2) == 0;
+    const ScalarType elemTy = ScalarType::make(bits, sgn);
+
+    // Sum of randomly weighted window elements.
+    std::string expr;
+    for (int r = 0; r < wr; ++r) {
+      for (int c = 0; c < wc; ++c) {
+        if (!expr.empty()) expr += " + ";
+        const int coef = pick(7) - 3;
+        std::string idx = fmt("X[i%0][j%1]", r ? fmt("+%0", r) : std::string(),
+                              c ? fmt("+%0", c) : std::string());
+        expr += coef == 1 ? idx : fmt("%0*%1", coef, idx);
+      }
+    }
+    const std::string src = fmt(R"(
+void k(const %0 X[%1][%2], int32 Y[%3][%4]) {
+  int i;
+  int j;
+  for (i = 0; i < %3; i++) {
+    for (j = 0; j < %4; j++) {
+      Y[i][j] = %5;
+    }
+  }
+}
+)", elemTy.str(), inR, inC, rows, cols, expr);
+
+    interp::KernelIO in;
+    std::uniform_int_distribution<int64_t> dist(elemTy.minValue(), elemTy.maxValue());
+    for (int i = 0; i < inR * inC; ++i) in.arrays["X"].push_back(dist(rng));
+
+    Compiler c;
+    const CompileResult r = c.compileSource(src);
+    ASSERT_TRUE(r.ok) << src << "\n" << r.diags.dump();
+    const CosimReport rep = cosimulate(r, src, in);
+    ASSERT_TRUE(rep.match) << src << "\n" << rep.mismatch;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, Fuzz2DSweep, ::testing::Values(1, 4, 7, 11, 18, 29));
+
+// Cross-layer property: the three execution layers — software stream model
+// (hlir::simulateStreams, interpreter-backed), the cycle-accurate RTL
+// system, and the whole-kernel interpreter — agree on every fuzz kernel.
+class FuzzLayersSweep : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(FuzzLayersSweep, AllThreeExecutionLayersAgree) {
+  KernelFuzzer fuzzer(GetParam() * 524287);
+  for (int round = 0; round < 4; ++round) {
+    const auto g = fuzzer.generate();
+    Compiler c;
+    const CompileResult r = c.compileSource(g.source);
+    ASSERT_TRUE(r.ok) << g.source;
+    // Layer 1: interpreter on the original kernel.
+    DiagEngine d;
+    ast::Module m = ast::parse(g.source, d);
+    ast::analyze(m, d);
+    const auto sw = interp::runKernel(m, r.kernel.kernelName, g.inputs);
+    // Layer 2: stream model over the extracted kernel.
+    const auto streams = hlir::simulateStreams(r.kernel, g.inputs);
+    // Layer 3: cycle-accurate system.
+    rtl::System sys(r.kernel, r.datapath, r.module);
+    const auto hw = sys.run(g.inputs);
+    for (const auto& st : r.kernel.outputs) {
+      ASSERT_EQ(sw.arrays.at(st.arrayName), streams.arrays.at(st.arrayName)) << g.source;
+      ASSERT_EQ(sw.arrays.at(st.arrayName), hw.arrays.at(st.arrayName)) << g.source;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FuzzLayersSweep, ::testing::Values(5, 15, 25, 35, 45));
+
+} // namespace
+} // namespace roccc

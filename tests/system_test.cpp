@@ -1,0 +1,406 @@
+#include <gtest/gtest.h>
+
+#include "roccc/compiler.hpp"
+#include "support/strings.hpp"
+#include "vhdl/check.hpp"
+
+namespace roccc {
+namespace {
+
+CompileResult compile(const std::string& src, CompileOptions opt = {}) {
+  Compiler c(opt);
+  CompileResult r = c.compileSource(src);
+  EXPECT_TRUE(r.ok) << r.diags.dump();
+  return r;
+}
+
+void expectCosim(const std::string& src, const interp::KernelIO& in, CompileOptions opt = {},
+                 rtl::SystemOptions sys = {}) {
+  CompileResult r = compile(src, opt);
+  ASSERT_TRUE(r.ok);
+  const CosimReport rep = cosimulate(r, src, in, sys);
+  EXPECT_TRUE(rep.match) << rep.mismatch << "\n" << r.datapath.dump();
+}
+
+const char* kFirSrc = R"(
+  void fir(const int16 A[36], int16 C[32]) {
+    int i;
+    for (i = 0; i < 32; i = i + 1) {
+      C[i] = 3*A[i] + 5*A[i+1] + 7*A[i+2] + 9*A[i+3] - A[i+4];
+    }
+  }
+)";
+
+interp::KernelIO firInput() {
+  interp::KernelIO in;
+  for (int i = 0; i < 36; ++i) in.arrays["A"].push_back((i * 73) % 251 - 125);
+  return in;
+}
+
+TEST(System, FivetapFirCosim) { expectCosim(kFirSrc, firInput()); }
+
+TEST(System, FirThroughputIsOnePerCycleAfterFill) {
+  CompileResult r = compile(kFirSrc);
+  rtl::System sys(r.kernel, r.datapath, r.module);
+  sys.run(firInput());
+  const auto& st = sys.stats();
+  // 32 iterations; fill = 5-element window + pipeline depth. Total cycles
+  // should be iterations + fill overhead, comfortably under 2x iterations.
+  EXPECT_EQ(st.iterations, 32);
+  EXPECT_LT(st.cycles, 32 + 5 + st.pipelineStages + 8) << "cycles " << st.cycles;
+  // Smart buffer fetched each element exactly once.
+  EXPECT_EQ(st.bramReads, 36);
+}
+
+TEST(System, AccumulatorCosim) {
+  const char* src = R"(
+    int sum = 0;
+    void acc(const int32 A[32], int32* out) {
+      int i;
+      for (i = 0; i < 32; i++) {
+        sum = sum + A[i];
+      }
+      *out = sum;
+    }
+  )";
+  interp::KernelIO in;
+  for (int i = 0; i < 32; ++i) in.arrays["A"].push_back(i * 11 - 160);
+  expectCosim(src, in);
+}
+
+TEST(System, MulAccWithConditionCosim) {
+  const char* src = R"(
+    int32 acc = 0;
+    void mul_acc(const int12 A[16], const int12 B[16], uint1 nd, int32* out) {
+      int i;
+      for (i = 0; i < 16; i++) {
+        if (nd) {
+          acc = acc + A[i] * B[i];
+        }
+      }
+      *out = acc;
+    }
+  )";
+  for (int nd = 0; nd <= 1; ++nd) {
+    interp::KernelIO in;
+    in.scalars["nd"] = nd;
+    for (int i = 0; i < 16; ++i) {
+      in.arrays["A"].push_back((i * 7) % 100 - 50);
+      in.arrays["B"].push_back((i * 13) % 80 - 40);
+    }
+    expectCosim(src, in);
+  }
+}
+
+TEST(System, BranchInLoopCosim) {
+  const char* src = R"(
+    void clip(const int16 A[24], int16 C[24]) {
+      int i;
+      for (i = 0; i < 24; i++) {
+        if (A[i] < 0) {
+          C[i] = -A[i];
+        } else {
+          C[i] = A[i] * 2;
+        }
+      }
+    }
+  )";
+  interp::KernelIO in;
+  for (int i = 0; i < 24; ++i) in.arrays["A"].push_back(100 - i * 9);
+  expectCosim(src, in);
+}
+
+TEST(System, DctBlockCosimAndThroughput) {
+  // 8 outputs per iteration at stride 8: the paper's DCT shape. With an
+  // 8-element input bus the system sustains 8 outputs per clock.
+  const char* src = R"(
+    void stage(const int8 X[64], int19 Y[64]) {
+      int i;
+      for (i = 0; i < 8; i++) {
+        Y[8*i]   = X[8*i] + X[8*i+7];
+        Y[8*i+1] = X[8*i+1] + X[8*i+6];
+        Y[8*i+2] = X[8*i+2] + X[8*i+5];
+        Y[8*i+3] = X[8*i+3] + X[8*i+4];
+        Y[8*i+4] = X[8*i] - X[8*i+7];
+        Y[8*i+5] = X[8*i+1] - X[8*i+6];
+        Y[8*i+6] = X[8*i+2] - X[8*i+5];
+        Y[8*i+7] = X[8*i+3] - X[8*i+4];
+      }
+    }
+  )";
+  interp::KernelIO in;
+  for (int i = 0; i < 64; ++i) in.arrays["X"].push_back((i * 37) % 256 - 128);
+  rtl::SystemOptions sys;
+  sys.inputBusElems = 8;
+  expectCosim(src, in, {}, sys);
+
+  CompileResult r = compile(src);
+  rtl::System system(r.kernel, r.datapath, r.module, sys);
+  system.run(in);
+  EXPECT_GE(system.stats().steadyStateThroughput(), 7.0) << "outputs/clock";
+}
+
+TEST(System, TwoDimensionalStencilCosim) {
+  const char* src = R"(
+    void stencil(const int16 X[6][8], int16 Y[5][6]) {
+      int i;
+      int j;
+      for (i = 0; i < 5; i++) {
+        for (j = 0; j < 6; j++) {
+          Y[i][j] = X[i][j] + X[i][j+1] + X[i][j+2]
+                  + X[i+1][j] + X[i+1][j+1] + X[i+1][j+2];
+        }
+      }
+    }
+  )";
+  interp::KernelIO in;
+  for (int i = 0; i < 48; ++i) in.arrays["X"].push_back((i * 29) % 211 - 105);
+  expectCosim(src, in);
+}
+
+TEST(System, UnsignedDividerCosim) {
+  const char* src = R"(
+    void udiv(const uint8 N[16], const uint8 D[16], uint8 Q[16]) {
+      int i;
+      for (i = 0; i < 16; i++) {
+        Q[i] = N[i] / D[i];
+      }
+    }
+  )";
+  interp::KernelIO in;
+  for (int i = 0; i < 16; ++i) {
+    in.arrays["N"].push_back((i * 97) % 256);
+    in.arrays["D"].push_back(i == 5 ? 0 : (i * 31) % 256); // include /0
+  }
+  expectCosim(src, in);
+}
+
+TEST(System, InnerLoopFullUnrollBitCorrelator) {
+  // bit_correlator: inner per-bit loop fully unrolled by the compiler.
+  const char* src = R"(
+    void bit_correlator(const uint8 A[32], uint4 C[32]) {
+      int i;
+      int j;
+      int cnt;
+      for (i = 0; i < 32; i++) {
+        cnt = 0;
+        for (j = 0; j < 8; j++) {
+          if (((A[i] >> j) & 1) == ((181 >> j) & 1)) {
+            cnt = cnt + 1;
+          }
+        }
+        C[i] = cnt;
+      }
+    }
+  )";
+  interp::KernelIO in;
+  for (int i = 0; i < 32; ++i) in.arrays["A"].push_back((i * 41) % 256);
+  expectCosim(src, in);
+}
+
+TEST(System, PartialUnrollWidensThroughput) {
+  CompileOptions opt;
+  opt.unrollFactor = 4;
+  interp::KernelIO in = firInput();
+  expectCosim(kFirSrc, in, opt, [] {
+    rtl::SystemOptions s;
+    s.inputBusElems = 4;
+    return s;
+  }());
+  CompileResult r = compile(kFirSrc, opt);
+  EXPECT_EQ(r.kernel.outputs[0].accessCount(), 4); // 4 results per iteration
+}
+
+TEST(System, NaiveBufferMatchesButReadsMore) {
+  CompileResult r = compile(kFirSrc);
+  const interp::KernelIO in = firInput();
+
+  rtl::SystemOptions smart;
+  rtl::System sys1(r.kernel, r.datapath, r.module, smart);
+  const auto out1 = sys1.run(in);
+
+  rtl::SystemOptions naive;
+  naive.useSmartBuffer = false;
+  rtl::System sys2(r.kernel, r.datapath, r.module, naive);
+  const auto out2 = sys2.run(in);
+
+  EXPECT_EQ(out1.arrays.at("C"), out2.arrays.at("C"));
+  // Smart buffer: 36 reads. Naive: 5 per window * 32 windows = 160.
+  EXPECT_EQ(sys1.stats().bramReads, 36);
+  EXPECT_EQ(sys2.stats().bramReads, 160);
+  EXPECT_GT(sys2.stats().cycles, sys1.stats().cycles);
+}
+
+TEST(System, CosLookupKernel) {
+  const char* src = R"(
+    void wave(const uint10 P[16], int16 C[16]) {
+      int i;
+      for (i = 0; i < 16; i++) {
+        C[i] = ROCCC_cos(P[i]);
+      }
+    }
+  )";
+  interp::KernelIO in;
+  for (int i = 0; i < 16; ++i) in.arrays["P"].push_back(i * 64);
+  expectCosim(src, in);
+}
+
+TEST(System, LookupTableKernel) {
+  const char* src = R"(
+    const int16 GAMMA[16] = {0,1,4,9,16,25,36,49,64,81,100,121,144,169,196,225};
+    void apply(const uint4 A[12], int16 C[12]) {
+      int i;
+      for (i = 0; i < 12; i++) {
+        C[i] = GAMMA[A[i]];
+      }
+    }
+  )";
+  interp::KernelIO in;
+  for (int i = 0; i < 12; ++i) in.arrays["A"].push_back(15 - i);
+  expectCosim(src, in);
+}
+
+TEST(System, CallInliningInKernel) {
+  const char* src = R"(
+    void sq(int16 x, int32* r) { *r = x * x; }
+    void k(const int16 A[10], int32 C[10]) {
+      int i;
+      int32 t;
+      for (i = 0; i < 10; i++) {
+        t = 0;
+        sq(A[i], t);
+        C[i] = t + 1;
+      }
+    }
+  )";
+  interp::KernelIO in;
+  for (int i = 0; i < 10; ++i) in.arrays["A"].push_back(i * 50 - 250);
+  CompileOptions opt;
+  opt.kernelName = "k";
+  expectCosim(src, in, opt);
+}
+
+TEST(System, DualTwoDimensionalStreamsCosim) {
+  // Two 2-D input streams through separate line-buffered smart buffers
+  // (the motion-detection shape).
+  const char* src = R"(
+    void diff(const uint8 P[6][8], const uint8 C[6][8], int16 D[4][6]) {
+      int i;
+      int j;
+      for (i = 0; i < 4; i++) {
+        for (j = 0; j < 6; j++) {
+          D[i][j] = (C[i+1][j+1] - P[i+1][j+1]) + (C[i][j] - P[i+2][j+2]);
+        }
+      }
+    }
+  )";
+  interp::KernelIO in;
+  for (int i = 0; i < 48; ++i) {
+    in.arrays["P"].push_back((i * 31) % 256);
+    in.arrays["C"].push_back((i * 57 + 13) % 256);
+  }
+  expectCosim(src, in);
+}
+
+TEST(System, AutoUnrollBudgetPicksFactorAndStaysCorrect) {
+  CompileOptions opt;
+  opt.autoUnrollSliceBudget = 12000;
+  CompileResult r = compile(kFirSrc, opt);
+  // The estimator picks a factor > 1 within this budget.
+  EXPECT_GT(r.kernel.outputs[0].accessCount(), 1);
+  interp::KernelIO in = firInput();
+  rtl::SystemOptions sys;
+  sys.inputBusElems = r.kernel.outputs[0].accessCount();
+  const auto rep = cosimulate(r, kFirSrc, in, sys);
+  EXPECT_TRUE(rep.match) << rep.mismatch;
+}
+
+TEST(System, AutoUnrollTinyBudgetKeepsFactorOne) {
+  CompileOptions opt;
+  opt.autoUnrollSliceBudget = 10; // nothing fits: factor stays 1
+  CompileResult r = compile(kFirSrc, opt);
+  EXPECT_EQ(r.kernel.outputs[0].accessCount(), 1);
+}
+
+// --- VHDL output ----------------------------------------------------------------
+
+TEST(Vhdl, GeneratedDesignIsStructurallyValid) {
+  for (const char* src : {kFirSrc}) {
+    CompileResult r = compile(src);
+    ASSERT_FALSE(r.vhdl.empty());
+    const vhdl::CheckResult chk = vhdl::checkDesign(r.vhdl);
+    EXPECT_TRUE(chk.ok) << join(chk.problems, "\n") << "\n---\n" << r.vhdl;
+    // One entity per node plus the top (plus ROMs when present).
+    EXPECT_GE(chk.entityCount, static_cast<int>(r.datapath.nodes.size()) + 1);
+    EXPECT_EQ(chk.entityCount, chk.architectureCount);
+    EXPECT_GE(chk.instantiationCount, static_cast<int>(r.datapath.nodes.size()));
+  }
+}
+
+TEST(Vhdl, AllPaperKernelsEmitValidVhdl) {
+  const char* kernels[] = {
+      R"(int sum = 0;
+         void acc(const int32 A[8], int32* out) {
+           int i;
+           for (i = 0; i < 8; i++) { sum = sum + A[i]; }
+           *out = sum;
+         })",
+      R"(void clip(const int16 A[8], int16 C[8]) {
+           int i;
+           for (i = 0; i < 8; i++) {
+             if (A[i] < 0) { C[i] = -A[i]; } else { C[i] = A[i]; }
+           }
+         })",
+      R"(const int16 T[8] = {1,2,3,4,5,6,7,8};
+         void lk(const uint3 A[8], int16 C[8]) {
+           int i;
+           for (i = 0; i < 8; i++) { C[i] = T[A[i]]; }
+         })",
+  };
+  for (const char* src : kernels) {
+    CompileResult r = compile(src);
+    const vhdl::CheckResult chk = vhdl::checkDesign(r.vhdl);
+    EXPECT_TRUE(chk.ok) << join(chk.problems, "\n") << "\n---\n" << r.vhdl;
+  }
+}
+
+TEST(Vhdl, MentionsKeyConstructs) {
+  CompileResult r = compile(kFirSrc);
+  EXPECT_NE(r.vhdl.find("rising_edge(clk)"), std::string::npos);
+  EXPECT_NE(r.vhdl.find("use ieee.numeric_std.all;"), std::string::npos);
+  EXPECT_NE(r.vhdl.find("entity fir_dp is"), std::string::npos);
+}
+
+TEST(Vhdl, ValidatorCatchesBrokenDesigns) {
+  const vhdl::CheckResult bad1 = vhdl::checkDesign("entity a is\nport (x : in bit);\nend entity b;");
+  EXPECT_FALSE(bad1.ok);
+  const vhdl::CheckResult bad2 = vhdl::checkDesign(R"(
+    library ieee;
+    entity a is
+    end entity a;
+    architecture rtl of a is
+    begin
+      y <= x;
+    end architecture;
+  )");
+  EXPECT_FALSE(bad2.ok); // y undeclared
+}
+
+// --- compiler-level reporting -----------------------------------------------------
+
+TEST(CompilerFacade, PassLogAndTransformedSource) {
+  CompileResult r = compile(kFirSrc);
+  EXPECT_FALSE(r.passLog.empty());
+  EXPECT_NE(r.transformedSource.find("void fir"), std::string::npos);
+  EXPECT_FALSE(r.kernel.scalarReplacedText.empty());
+}
+
+TEST(CompilerFacade, ReportsErrorsOnBadKernels) {
+  Compiler c;
+  const CompileResult r = c.compileSource("void k(int* o) { *o = 1; }"); // no loop
+  EXPECT_FALSE(r.ok);
+  EXPECT_TRUE(r.diags.hasErrors());
+}
+
+} // namespace
+} // namespace roccc

@@ -1,0 +1,282 @@
+// roccc-cc — the command-line driver.
+//
+//   roccc-cc [options] kernel.c
+//
+// Compiles the kernel to RTL VHDL, writes <kernel>.vhd (and optionally a
+// self-checking testbench), and prints the compilation report: data-path
+// structure, synthesis estimate (area / clock / power), and — when inputs
+// are provided — a hardware/software cosimulation verdict.
+//
+// Options:
+//   -o FILE          output VHDL path (default: <input>.vhd)
+//   --kernel NAME    kernel function (default: last function in the file)
+//   --unroll N       partially unroll the streaming loop by N
+//   --target-ns X    pipeline stage delay target (default 4.0)
+//   --mult-style S   'lut' (default) or 'mult18'
+//   --no-infer       disable bit-width inference
+//   --no-pipeline    single combinational stage
+//   --testbench      also write <output>_tb.vhd with random vectors
+//   --cosim          run the cycle-accurate system on random inputs and
+//                    verify against the interpreter
+//   --vcd FILE       with --cosim: dump a VCD waveform of the run
+//   --verilog FILE   also write the Verilog form of the design
+//   --json FILE      export the data-path graph as JSON (Fig 1's graph
+//                    editor / annotation interface)
+//   --dump-datapath  print the data-path op listing
+//   --dump-mir       print the back-end IR
+//   --quiet          only errors
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <random>
+#include <sstream>
+#include <string>
+
+#include "dp/annotate.hpp"
+#include "roccc/compiler.hpp"
+#include "synth/estimate.hpp"
+#include "vhdl/check.hpp"
+#include "vhdl/testbench.hpp"
+#include "vhdl/verilog.hpp"
+
+namespace {
+
+struct Args {
+  std::string input;
+  std::string output;
+  roccc::CompileOptions options;
+  bool testbench = false;
+  bool cosim = false;
+  std::string vcdPath;
+  std::string verilogPath;
+  std::string jsonPath;
+  bool dumpDatapath = false;
+  bool dumpMir = false;
+  bool quiet = false;
+};
+
+int usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [-o out.vhd] [--kernel NAME] [--unroll N] [--target-ns X]\n"
+               "          [--mult-style lut|mult18] [--no-infer] [--no-pipeline]\n"
+               "          [--testbench] [--cosim] [--dump-datapath] [--dump-mir]\n"
+               "          [--quiet] kernel.c\n",
+               argv0);
+  return 2;
+}
+
+bool parseArgs(int argc, char** argv, Args& a) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* { return i + 1 < argc ? argv[++i] : nullptr; };
+    if (arg == "-o") {
+      const char* v = next();
+      if (!v) return false;
+      a.output = v;
+    } else if (arg == "--kernel") {
+      const char* v = next();
+      if (!v) return false;
+      a.options.kernelName = v;
+    } else if (arg == "--unroll") {
+      const char* v = next();
+      if (!v) return false;
+      a.options.unrollFactor = std::atoi(v);
+    } else if (arg == "--target-ns") {
+      const char* v = next();
+      if (!v) return false;
+      a.options.dpOptions.targetStageDelayNs = std::atof(v);
+    } else if (arg == "--mult-style") {
+      const char* v = next();
+      if (!v) return false;
+      if (std::strcmp(v, "lut") == 0) {
+        a.options.dpOptions.multStyle = roccc::dp::BuildOptions::MultStyle::Lut;
+      } else if (std::strcmp(v, "mult18") == 0) {
+        a.options.dpOptions.multStyle = roccc::dp::BuildOptions::MultStyle::Mult18;
+      } else {
+        return false;
+      }
+    } else if (arg == "--no-infer") {
+      a.options.dpOptions.inferBitWidths = false;
+    } else if (arg == "--no-pipeline") {
+      a.options.dpOptions.pipeline = false;
+    } else if (arg == "--testbench") {
+      a.testbench = true;
+    } else if (arg == "--cosim") {
+      a.cosim = true;
+    } else if (arg == "--vcd") {
+      const char* v = next();
+      if (!v) return false;
+      a.vcdPath = v;
+      a.cosim = true;
+    } else if (arg == "--verilog") {
+      const char* v = next();
+      if (!v) return false;
+      a.verilogPath = v;
+    } else if (arg == "--json") {
+      const char* v = next();
+      if (!v) return false;
+      a.jsonPath = v;
+    } else if (arg == "--dump-datapath") {
+      a.dumpDatapath = true;
+    } else if (arg == "--dump-mir") {
+      a.dumpMir = true;
+    } else if (arg == "--quiet") {
+      a.quiet = true;
+    } else if (!arg.empty() && arg[0] == '-') {
+      return false;
+    } else if (a.input.empty()) {
+      a.input = arg;
+    } else {
+      return false;
+    }
+  }
+  return !a.input.empty();
+}
+
+/// Random inputs covering the kernel's arrays and scalars.
+roccc::interp::KernelIO randomInputs(const roccc::hlir::KernelInfo& k, uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  roccc::interp::KernelIO io;
+  for (const auto& st : k.inputs) {
+    int64_t n = 1;
+    for (int64_t d : st.dims) n *= d;
+    std::uniform_int_distribution<int64_t> dist(st.elemType.minValue(), st.elemType.maxValue());
+    auto& arr = io.arrays[st.arrayName];
+    for (int64_t i = 0; i < n; ++i) arr.push_back(dist(rng));
+  }
+  for (const auto& si : k.scalarInputs) {
+    if (si.isInduction) continue;
+    std::uniform_int_distribution<int64_t> dist(si.type.minValue(), si.type.maxValue());
+    io.scalars[si.name] = dist(rng);
+  }
+  return io;
+}
+
+} // namespace
+
+int main(int argc, char** argv) {
+  Args a;
+  if (!parseArgs(argc, argv, a)) return usage(argv[0]);
+
+  std::ifstream in(a.input);
+  if (!in) {
+    std::fprintf(stderr, "error: cannot open '%s'\n", a.input.c_str());
+    return 1;
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  const std::string source = buf.str();
+
+  roccc::Compiler compiler(a.options);
+  const roccc::CompileResult r = compiler.compileSource(source);
+  if (!r.ok) {
+    std::fprintf(stderr, "%s", r.diags.dump().c_str());
+    return 1;
+  }
+  for (const auto& d : r.diags.all()) {
+    if (d.severity == roccc::Severity::Warning) {
+      std::fprintf(stderr, "%s\n", d.str().c_str());
+    }
+  }
+
+  if (a.output.empty()) {
+    a.output = a.input;
+    const size_t dot = a.output.rfind('.');
+    if (dot != std::string::npos) a.output.resize(dot);
+    a.output += ".vhd";
+  }
+  {
+    std::ofstream out(a.output);
+    if (!out) {
+      std::fprintf(stderr, "error: cannot write '%s'\n", a.output.c_str());
+      return 1;
+    }
+    out << r.vhdl;
+  }
+  const auto chk = roccc::vhdl::checkDesign(r.vhdl);
+  if (!chk.ok) {
+    std::fprintf(stderr, "internal: emitted VHDL failed validation:\n");
+    for (const auto& p : chk.problems) std::fprintf(stderr, "  %s\n", p.c_str());
+    return 1;
+  }
+
+  if (!a.verilogPath.empty()) {
+    const auto vchk = roccc::verilog::checkDesign(r.verilog);
+    if (!vchk.ok) {
+      std::fprintf(stderr, "internal: emitted Verilog failed validation\n");
+      return 1;
+    }
+    std::ofstream vout(a.verilogPath);
+    vout << r.verilog;
+    if (!a.quiet) std::printf("wrote %s (%d modules)\n", a.verilogPath.c_str(), vchk.moduleCount);
+  }
+  if (!a.jsonPath.empty()) {
+    std::ofstream jout(a.jsonPath);
+    jout << roccc::dp::exportJson(r.datapath);
+    if (!a.quiet) std::printf("wrote %s\n", a.jsonPath.c_str());
+  }
+
+  if (a.testbench) {
+    std::vector<std::vector<int64_t>> sets;
+    std::mt19937_64 rng(42);
+    for (int t = 0; t < 16; ++t) {
+      std::vector<int64_t> set;
+      for (const auto& p : r.datapath.inputs) {
+        std::uniform_int_distribution<int64_t> dist(p.type.minValue(), p.type.maxValue());
+        set.push_back(dist(rng));
+      }
+      sets.push_back(std::move(set));
+    }
+    const auto vectors = roccc::vhdl::makeVectors(r.datapath, sets);
+    std::string tbPath = a.output;
+    const size_t dot = tbPath.rfind('.');
+    if (dot != std::string::npos) tbPath.resize(dot);
+    tbPath += "_tb.vhd";
+    std::ofstream tb(tbPath);
+    tb << roccc::vhdl::emitTestbench(r.datapath, vectors);
+    if (!a.quiet) std::printf("wrote %s (16 vectors)\n", tbPath.c_str());
+  }
+
+  if (!a.quiet) {
+    std::printf("wrote %s (%d entities)\n", a.output.c_str(), chk.entityCount);
+    std::printf("kernel '%s': %zu-deep loop nest, %zu input stream(s), %zu output stream(s), "
+                "%zu feedback register(s)\n",
+                r.kernel.kernelName.c_str(), r.kernel.loops.size(), r.kernel.inputs.size(),
+                r.kernel.outputs.size(), r.kernel.feedbacks.size());
+    std::printf("data path: %d nodes (%d soft + %d hard), %d pipeline stages, %lld bits narrowed\n",
+                static_cast<int>(r.datapath.nodes.size()), r.datapath.softNodeCount,
+                r.datapath.hardNodeCount, r.datapath.stageCount,
+                static_cast<long long>(r.datapath.narrowedBits));
+    const auto rep = roccc::synth::estimate(r.module);
+    std::printf("synthesis estimate (xc2v2000-5): %s\n", rep.summary().c_str());
+    std::printf("dynamic power @ fmax: %.1f mW\n",
+                roccc::synth::estimatePowerMw(rep.res, rep.fmaxMHz()));
+  }
+  if (a.dumpDatapath) std::printf("\n%s", r.datapath.dump().c_str());
+  if (a.dumpMir) std::printf("\n%s", r.mir.dump().c_str());
+
+  if (a.cosim) {
+    const auto io = randomInputs(r.kernel, 1234);
+    roccc::rtl::SystemOptions sysOpt;
+    sysOpt.recordVcd = !a.vcdPath.empty();
+    const auto rep = roccc::cosimulate(r, source, io, sysOpt);
+    if (!rep.match) {
+      std::fprintf(stderr, "COSIMULATION MISMATCH: %s\n", rep.mismatch.c_str());
+      return 1;
+    }
+    if (!a.quiet) {
+      std::printf("cosimulation: MATCH (%lld cycles, %lld iterations, %lld BRAM reads)\n",
+                  static_cast<long long>(rep.stats.cycles),
+                  static_cast<long long>(rep.stats.iterations),
+                  static_cast<long long>(rep.stats.bramReads));
+    }
+    if (!a.vcdPath.empty()) {
+      roccc::rtl::System sys(r.kernel, r.datapath, r.module, sysOpt);
+      sys.run(io);
+      std::ofstream vcdOut(a.vcdPath);
+      vcdOut << sys.vcd();
+      if (!a.quiet) std::printf("wrote %s\n", a.vcdPath.c_str());
+    }
+  }
+  return 0;
+}
