@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_bitwidth.dir/bench_ablation_bitwidth.cpp.o"
+  "CMakeFiles/bench_ablation_bitwidth.dir/bench_ablation_bitwidth.cpp.o.d"
+  "bench_ablation_bitwidth"
+  "bench_ablation_bitwidth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_bitwidth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_mulacc_style.dir/bench_ablation_mulacc_style.cpp.o"
+  "CMakeFiles/bench_ablation_mulacc_style.dir/bench_ablation_mulacc_style.cpp.o.d"
+  "bench_ablation_mulacc_style"
+  "bench_ablation_mulacc_style.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_mulacc_style.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

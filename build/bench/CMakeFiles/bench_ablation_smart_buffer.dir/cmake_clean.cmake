@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_smart_buffer.dir/bench_ablation_smart_buffer.cpp.o"
+  "CMakeFiles/bench_ablation_smart_buffer.dir/bench_ablation_smart_buffer.cpp.o.d"
+  "bench_ablation_smart_buffer"
+  "bench_ablation_smart_buffer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_smart_buffer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

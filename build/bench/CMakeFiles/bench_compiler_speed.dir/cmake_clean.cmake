@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_compiler_speed.dir/bench_compiler_speed.cpp.o"
+  "CMakeFiles/bench_compiler_speed.dir/bench_compiler_speed.cpp.o.d"
+  "bench_compiler_speed"
+  "bench_compiler_speed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_compiler_speed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

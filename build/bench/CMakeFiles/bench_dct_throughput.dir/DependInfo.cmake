@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_dct_throughput.cpp" "bench/CMakeFiles/bench_dct_throughput.dir/bench_dct_throughput.cpp.o" "gcc" "bench/CMakeFiles/bench_dct_throughput.dir/bench_dct_throughput.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/roccc/CMakeFiles/roccc_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/ip/CMakeFiles/roccc_ip.dir/DependInfo.cmake"
+  "/root/repo/build/src/synth/CMakeFiles/roccc_synth.dir/DependInfo.cmake"
+  "/root/repo/build/src/vhdl/CMakeFiles/roccc_vhdl.dir/DependInfo.cmake"
+  "/root/repo/build/src/rtl/CMakeFiles/roccc_rtl.dir/DependInfo.cmake"
+  "/root/repo/build/src/hlir/CMakeFiles/roccc_hlir.dir/DependInfo.cmake"
+  "/root/repo/build/src/interp/CMakeFiles/roccc_interp.dir/DependInfo.cmake"
+  "/root/repo/build/src/dp/CMakeFiles/roccc_dp.dir/DependInfo.cmake"
+  "/root/repo/build/src/mir/CMakeFiles/roccc_mir.dir/DependInfo.cmake"
+  "/root/repo/build/src/frontend/CMakeFiles/roccc_frontend.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/roccc_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

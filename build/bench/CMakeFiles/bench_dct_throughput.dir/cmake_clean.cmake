@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_dct_throughput.dir/bench_dct_throughput.cpp.o"
+  "CMakeFiles/bench_dct_throughput.dir/bench_dct_throughput.cpp.o.d"
+  "bench_dct_throughput"
+  "bench_dct_throughput.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_dct_throughput.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig3_scalar_replacement.dir/bench_fig3_scalar_replacement.cpp.o"
+  "CMakeFiles/bench_fig3_scalar_replacement.dir/bench_fig3_scalar_replacement.cpp.o.d"
+  "bench_fig3_scalar_replacement"
+  "bench_fig3_scalar_replacement.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_scalar_replacement.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_accumulator.dir/bench_fig4_accumulator.cpp.o"
+  "CMakeFiles/bench_fig4_accumulator.dir/bench_fig4_accumulator.cpp.o.d"
+  "bench_fig4_accumulator"
+  "bench_fig4_accumulator.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_accumulator.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

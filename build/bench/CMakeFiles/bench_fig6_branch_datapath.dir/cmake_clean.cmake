@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_branch_datapath.dir/bench_fig6_branch_datapath.cpp.o"
+  "CMakeFiles/bench_fig6_branch_datapath.dir/bench_fig6_branch_datapath.cpp.o.d"
+  "bench_fig6_branch_datapath"
+  "bench_fig6_branch_datapath.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_branch_datapath.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dsp_chain.dir/dsp_chain.cpp.o"
+  "CMakeFiles/dsp_chain.dir/dsp_chain.cpp.o.d"
+  "dsp_chain"
+  "dsp_chain.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dsp_chain.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

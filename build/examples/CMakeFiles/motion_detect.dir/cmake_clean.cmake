@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/motion_detect.dir/motion_detect.cpp.o"
+  "CMakeFiles/motion_detect.dir/motion_detect.cpp.o.d"
+  "motion_detect"
+  "motion_detect.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/motion_detect.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("support")
+subdirs("frontend")
+subdirs("interp")
+subdirs("hlir")
+subdirs("mir")
+subdirs("dp")
+subdirs("rtl")
+subdirs("vhdl")
+subdirs("synth")
+subdirs("ip")
+subdirs("roccc")

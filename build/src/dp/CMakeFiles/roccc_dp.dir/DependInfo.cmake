@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dp/annotate.cpp" "src/dp/CMakeFiles/roccc_dp.dir/annotate.cpp.o" "gcc" "src/dp/CMakeFiles/roccc_dp.dir/annotate.cpp.o.d"
+  "/root/repo/src/dp/datapath.cpp" "src/dp/CMakeFiles/roccc_dp.dir/datapath.cpp.o" "gcc" "src/dp/CMakeFiles/roccc_dp.dir/datapath.cpp.o.d"
+  "/root/repo/src/dp/eval.cpp" "src/dp/CMakeFiles/roccc_dp.dir/eval.cpp.o" "gcc" "src/dp/CMakeFiles/roccc_dp.dir/eval.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/mir/CMakeFiles/roccc_mir.dir/DependInfo.cmake"
+  "/root/repo/build/src/frontend/CMakeFiles/roccc_frontend.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/roccc_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

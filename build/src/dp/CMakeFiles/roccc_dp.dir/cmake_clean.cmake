@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/roccc_dp.dir/annotate.cpp.o"
+  "CMakeFiles/roccc_dp.dir/annotate.cpp.o.d"
+  "CMakeFiles/roccc_dp.dir/datapath.cpp.o"
+  "CMakeFiles/roccc_dp.dir/datapath.cpp.o.d"
+  "CMakeFiles/roccc_dp.dir/eval.cpp.o"
+  "CMakeFiles/roccc_dp.dir/eval.cpp.o.d"
+  "libroccc_dp.a"
+  "libroccc_dp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/roccc_dp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

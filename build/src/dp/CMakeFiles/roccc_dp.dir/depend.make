@@ -1,0 +1,2 @@
+# Empty dependencies file for roccc_dp.
+# This may be replaced when dependencies are built.

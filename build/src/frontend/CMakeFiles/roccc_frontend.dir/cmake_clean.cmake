@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/roccc_frontend.dir/ast.cpp.o"
+  "CMakeFiles/roccc_frontend.dir/ast.cpp.o.d"
+  "CMakeFiles/roccc_frontend.dir/lexer.cpp.o"
+  "CMakeFiles/roccc_frontend.dir/lexer.cpp.o.d"
+  "CMakeFiles/roccc_frontend.dir/parser.cpp.o"
+  "CMakeFiles/roccc_frontend.dir/parser.cpp.o.d"
+  "CMakeFiles/roccc_frontend.dir/sema.cpp.o"
+  "CMakeFiles/roccc_frontend.dir/sema.cpp.o.d"
+  "libroccc_frontend.a"
+  "libroccc_frontend.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/roccc_frontend.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

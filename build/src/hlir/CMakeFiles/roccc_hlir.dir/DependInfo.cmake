@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/hlir/cosim.cpp" "src/hlir/CMakeFiles/roccc_hlir.dir/cosim.cpp.o" "gcc" "src/hlir/CMakeFiles/roccc_hlir.dir/cosim.cpp.o.d"
+  "/root/repo/src/hlir/kernel.cpp" "src/hlir/CMakeFiles/roccc_hlir.dir/kernel.cpp.o" "gcc" "src/hlir/CMakeFiles/roccc_hlir.dir/kernel.cpp.o.d"
+  "/root/repo/src/hlir/transforms.cpp" "src/hlir/CMakeFiles/roccc_hlir.dir/transforms.cpp.o" "gcc" "src/hlir/CMakeFiles/roccc_hlir.dir/transforms.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/frontend/CMakeFiles/roccc_frontend.dir/DependInfo.cmake"
+  "/root/repo/build/src/interp/CMakeFiles/roccc_interp.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/roccc_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

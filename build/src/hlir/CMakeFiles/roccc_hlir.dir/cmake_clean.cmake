@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/roccc_hlir.dir/cosim.cpp.o"
+  "CMakeFiles/roccc_hlir.dir/cosim.cpp.o.d"
+  "CMakeFiles/roccc_hlir.dir/kernel.cpp.o"
+  "CMakeFiles/roccc_hlir.dir/kernel.cpp.o.d"
+  "CMakeFiles/roccc_hlir.dir/transforms.cpp.o"
+  "CMakeFiles/roccc_hlir.dir/transforms.cpp.o.d"
+  "libroccc_hlir.a"
+  "libroccc_hlir.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/roccc_hlir.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for roccc_hlir.
+# This may be replaced when dependencies are built.

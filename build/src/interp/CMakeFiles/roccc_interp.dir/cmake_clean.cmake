@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/roccc_interp.dir/interp.cpp.o"
+  "CMakeFiles/roccc_interp.dir/interp.cpp.o.d"
+  "libroccc_interp.a"
+  "libroccc_interp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/roccc_interp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/roccc_ip.dir/ip.cpp.o"
+  "CMakeFiles/roccc_ip.dir/ip.cpp.o.d"
+  "libroccc_ip.a"
+  "libroccc_ip.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/roccc_ip.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

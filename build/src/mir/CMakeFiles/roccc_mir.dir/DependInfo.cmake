@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mir/exec.cpp" "src/mir/CMakeFiles/roccc_mir.dir/exec.cpp.o" "gcc" "src/mir/CMakeFiles/roccc_mir.dir/exec.cpp.o.d"
+  "/root/repo/src/mir/ir.cpp" "src/mir/CMakeFiles/roccc_mir.dir/ir.cpp.o" "gcc" "src/mir/CMakeFiles/roccc_mir.dir/ir.cpp.o.d"
+  "/root/repo/src/mir/lower.cpp" "src/mir/CMakeFiles/roccc_mir.dir/lower.cpp.o" "gcc" "src/mir/CMakeFiles/roccc_mir.dir/lower.cpp.o.d"
+  "/root/repo/src/mir/passes.cpp" "src/mir/CMakeFiles/roccc_mir.dir/passes.cpp.o" "gcc" "src/mir/CMakeFiles/roccc_mir.dir/passes.cpp.o.d"
+  "/root/repo/src/mir/ssa.cpp" "src/mir/CMakeFiles/roccc_mir.dir/ssa.cpp.o" "gcc" "src/mir/CMakeFiles/roccc_mir.dir/ssa.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/frontend/CMakeFiles/roccc_frontend.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/roccc_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

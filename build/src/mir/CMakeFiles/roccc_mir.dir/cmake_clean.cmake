@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/roccc_mir.dir/exec.cpp.o"
+  "CMakeFiles/roccc_mir.dir/exec.cpp.o.d"
+  "CMakeFiles/roccc_mir.dir/ir.cpp.o"
+  "CMakeFiles/roccc_mir.dir/ir.cpp.o.d"
+  "CMakeFiles/roccc_mir.dir/lower.cpp.o"
+  "CMakeFiles/roccc_mir.dir/lower.cpp.o.d"
+  "CMakeFiles/roccc_mir.dir/passes.cpp.o"
+  "CMakeFiles/roccc_mir.dir/passes.cpp.o.d"
+  "CMakeFiles/roccc_mir.dir/ssa.cpp.o"
+  "CMakeFiles/roccc_mir.dir/ssa.cpp.o.d"
+  "libroccc_mir.a"
+  "libroccc_mir.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/roccc_mir.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

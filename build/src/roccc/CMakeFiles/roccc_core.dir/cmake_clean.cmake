@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/roccc_core.dir/compiler.cpp.o"
+  "CMakeFiles/roccc_core.dir/compiler.cpp.o.d"
+  "libroccc_core.a"
+  "libroccc_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/roccc_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

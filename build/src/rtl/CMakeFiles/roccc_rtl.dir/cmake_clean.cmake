@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/roccc_rtl.dir/buffers.cpp.o"
+  "CMakeFiles/roccc_rtl.dir/buffers.cpp.o.d"
+  "CMakeFiles/roccc_rtl.dir/from_dp.cpp.o"
+  "CMakeFiles/roccc_rtl.dir/from_dp.cpp.o.d"
+  "CMakeFiles/roccc_rtl.dir/netlist.cpp.o"
+  "CMakeFiles/roccc_rtl.dir/netlist.cpp.o.d"
+  "CMakeFiles/roccc_rtl.dir/system.cpp.o"
+  "CMakeFiles/roccc_rtl.dir/system.cpp.o.d"
+  "CMakeFiles/roccc_rtl.dir/vcd.cpp.o"
+  "CMakeFiles/roccc_rtl.dir/vcd.cpp.o.d"
+  "libroccc_rtl.a"
+  "libroccc_rtl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/roccc_rtl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/support/cosrom.cpp" "src/support/CMakeFiles/roccc_support.dir/cosrom.cpp.o" "gcc" "src/support/CMakeFiles/roccc_support.dir/cosrom.cpp.o.d"
+  "/root/repo/src/support/diag.cpp" "src/support/CMakeFiles/roccc_support.dir/diag.cpp.o" "gcc" "src/support/CMakeFiles/roccc_support.dir/diag.cpp.o.d"
+  "/root/repo/src/support/range.cpp" "src/support/CMakeFiles/roccc_support.dir/range.cpp.o" "gcc" "src/support/CMakeFiles/roccc_support.dir/range.cpp.o.d"
+  "/root/repo/src/support/strings.cpp" "src/support/CMakeFiles/roccc_support.dir/strings.cpp.o" "gcc" "src/support/CMakeFiles/roccc_support.dir/strings.cpp.o.d"
+  "/root/repo/src/support/value.cpp" "src/support/CMakeFiles/roccc_support.dir/value.cpp.o" "gcc" "src/support/CMakeFiles/roccc_support.dir/value.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/roccc_support.dir/cosrom.cpp.o"
+  "CMakeFiles/roccc_support.dir/cosrom.cpp.o.d"
+  "CMakeFiles/roccc_support.dir/diag.cpp.o"
+  "CMakeFiles/roccc_support.dir/diag.cpp.o.d"
+  "CMakeFiles/roccc_support.dir/range.cpp.o"
+  "CMakeFiles/roccc_support.dir/range.cpp.o.d"
+  "CMakeFiles/roccc_support.dir/strings.cpp.o"
+  "CMakeFiles/roccc_support.dir/strings.cpp.o.d"
+  "CMakeFiles/roccc_support.dir/value.cpp.o"
+  "CMakeFiles/roccc_support.dir/value.cpp.o.d"
+  "libroccc_support.a"
+  "libroccc_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/roccc_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/roccc_synth.dir/estimate.cpp.o"
+  "CMakeFiles/roccc_synth.dir/estimate.cpp.o.d"
+  "libroccc_synth.a"
+  "libroccc_synth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/roccc_synth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

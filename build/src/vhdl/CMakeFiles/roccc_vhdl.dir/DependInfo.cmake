@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/vhdl/check.cpp" "src/vhdl/CMakeFiles/roccc_vhdl.dir/check.cpp.o" "gcc" "src/vhdl/CMakeFiles/roccc_vhdl.dir/check.cpp.o.d"
+  "/root/repo/src/vhdl/emit.cpp" "src/vhdl/CMakeFiles/roccc_vhdl.dir/emit.cpp.o" "gcc" "src/vhdl/CMakeFiles/roccc_vhdl.dir/emit.cpp.o.d"
+  "/root/repo/src/vhdl/testbench.cpp" "src/vhdl/CMakeFiles/roccc_vhdl.dir/testbench.cpp.o" "gcc" "src/vhdl/CMakeFiles/roccc_vhdl.dir/testbench.cpp.o.d"
+  "/root/repo/src/vhdl/verilog.cpp" "src/vhdl/CMakeFiles/roccc_vhdl.dir/verilog.cpp.o" "gcc" "src/vhdl/CMakeFiles/roccc_vhdl.dir/verilog.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/dp/CMakeFiles/roccc_dp.dir/DependInfo.cmake"
+  "/root/repo/build/src/rtl/CMakeFiles/roccc_rtl.dir/DependInfo.cmake"
+  "/root/repo/build/src/hlir/CMakeFiles/roccc_hlir.dir/DependInfo.cmake"
+  "/root/repo/build/src/mir/CMakeFiles/roccc_mir.dir/DependInfo.cmake"
+  "/root/repo/build/src/interp/CMakeFiles/roccc_interp.dir/DependInfo.cmake"
+  "/root/repo/build/src/frontend/CMakeFiles/roccc_frontend.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/roccc_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

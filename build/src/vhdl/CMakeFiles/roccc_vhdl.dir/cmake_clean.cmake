@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/roccc_vhdl.dir/check.cpp.o"
+  "CMakeFiles/roccc_vhdl.dir/check.cpp.o.d"
+  "CMakeFiles/roccc_vhdl.dir/emit.cpp.o"
+  "CMakeFiles/roccc_vhdl.dir/emit.cpp.o.d"
+  "CMakeFiles/roccc_vhdl.dir/testbench.cpp.o"
+  "CMakeFiles/roccc_vhdl.dir/testbench.cpp.o.d"
+  "CMakeFiles/roccc_vhdl.dir/verilog.cpp.o"
+  "CMakeFiles/roccc_vhdl.dir/verilog.cpp.o.d"
+  "libroccc_vhdl.a"
+  "libroccc_vhdl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/roccc_vhdl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

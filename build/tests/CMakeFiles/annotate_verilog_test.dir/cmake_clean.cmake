@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/annotate_verilog_test.dir/annotate_verilog_test.cpp.o"
+  "CMakeFiles/annotate_verilog_test.dir/annotate_verilog_test.cpp.o.d"
+  "annotate_verilog_test"
+  "annotate_verilog_test.pdb"
+  "annotate_verilog_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/annotate_verilog_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hlir_kernel_test.dir/hlir_kernel_test.cpp.o"
+  "CMakeFiles/hlir_kernel_test.dir/hlir_kernel_test.cpp.o.d"
+  "hlir_kernel_test"
+  "hlir_kernel_test.pdb"
+  "hlir_kernel_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hlir_kernel_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hlir_transforms_test.dir/hlir_transforms_test.cpp.o"
+  "CMakeFiles/hlir_transforms_test.dir/hlir_transforms_test.cpp.o.d"
+  "hlir_transforms_test"
+  "hlir_transforms_test.pdb"
+  "hlir_transforms_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hlir_transforms_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mir_test.dir/mir_test.cpp.o"
+  "CMakeFiles/mir_test.dir/mir_test.cpp.o.d"
+  "mir_test"
+  "mir_test.pdb"
+  "mir_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mir_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/support_value_test.dir/support_value_test.cpp.o"
+  "CMakeFiles/support_value_test.dir/support_value_test.cpp.o.d"
+  "support_value_test"
+  "support_value_test.pdb"
+  "support_value_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/support_value_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

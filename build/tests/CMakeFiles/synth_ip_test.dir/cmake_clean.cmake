@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/synth_ip_test.dir/synth_ip_test.cpp.o"
+  "CMakeFiles/synth_ip_test.dir/synth_ip_test.cpp.o.d"
+  "synth_ip_test"
+  "synth_ip_test.pdb"
+  "synth_ip_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/synth_ip_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

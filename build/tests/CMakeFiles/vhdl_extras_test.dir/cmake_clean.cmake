@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vhdl_extras_test.dir/vhdl_extras_test.cpp.o"
+  "CMakeFiles/vhdl_extras_test.dir/vhdl_extras_test.cpp.o.d"
+  "vhdl_extras_test"
+  "vhdl_extras_test.pdb"
+  "vhdl_extras_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vhdl_extras_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/support_value_test[1]_include.cmake")
+include("/root/repo/build/tests/frontend_parser_test[1]_include.cmake")
+include("/root/repo/build/tests/interp_test[1]_include.cmake")
+include("/root/repo/build/tests/hlir_transforms_test[1]_include.cmake")
+include("/root/repo/build/tests/hlir_kernel_test[1]_include.cmake")
+include("/root/repo/build/tests/mir_test[1]_include.cmake")
+include("/root/repo/build/tests/dp_test[1]_include.cmake")
+include("/root/repo/build/tests/system_test[1]_include.cmake")
+include("/root/repo/build/tests/synth_ip_test[1]_include.cmake")
+include("/root/repo/build/tests/vhdl_extras_test[1]_include.cmake")
+include("/root/repo/build/tests/fuzz_test[1]_include.cmake")
+include("/root/repo/build/tests/table1_kernels_test[1]_include.cmake")
+include("/root/repo/build/tests/rtl_test[1]_include.cmake")
+include("/root/repo/build/tests/annotate_verilog_test[1]_include.cmake")
+include("/root/repo/build/tests/roundtrip_test[1]_include.cmake")
+include("/root/repo/build/tests/edge_test[1]_include.cmake")

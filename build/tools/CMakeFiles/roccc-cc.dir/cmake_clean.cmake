@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/roccc-cc.dir/roccc_cc.cpp.o"
+  "CMakeFiles/roccc-cc.dir/roccc_cc.cpp.o.d"
+  "roccc-cc"
+  "roccc-cc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/roccc-cc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
