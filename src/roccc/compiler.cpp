@@ -36,13 +36,16 @@ CompileResult Compiler::compileSource(const std::string& cSource) const {
   }
 
   // --- loop-level transforms (section 2 / 4.1) ----------------------------------
-  const int inlined = hlir::inlineCalls(m, r.diags);
-  if (r.diags.hasErrors()) return r;
+  // "Function calls will either be inlined or whenever feasible made into a
+  // lookup table" (section 2): lookup-table conversion gets first pick —
+  // feasible pure unary callees become ROMs, everything left is inlined.
   int luts = 0;
   if (options_.convertCallsToLuts) {
     luts = hlir::convertCallsToLookupTables(m, r.diags, options_.lutMaxIndexBits);
     if (r.diags.hasErrors()) return r;
   }
+  const int inlined = hlir::inlineCalls(m, r.diags);
+  if (r.diags.hasErrors()) return r;
   const int folded = hlir::constantFold(m, r.diags);
   if (r.diags.hasErrors()) return r;
   kernel = m.findFunction(kernelName);

@@ -82,7 +82,9 @@ class Compiler {
 
 /// Hardware/software cosimulation: runs the compiled kernel both on the
 /// cycle-accurate RTL system and through the AST interpreter on the
-/// original source, and compares every output.
+/// original source, and compares every output. The netlist engine is chosen
+/// by sysOptions.engine (rtl::SimEngine, default Fast); NetlistSim remains
+/// the reference oracle.
 struct CosimReport {
   bool match = false;
   std::string mismatch; ///< first difference, empty when match

@@ -141,8 +141,26 @@ interp::KernelIO System::run(const interp::KernelIO& io) {
   }
 
   // --- main clock loop ---------------------------------------------------------------
-  NetlistSim sim(module_);
-  sim.reset();
+  // Either engine clocks the data path; they are differentially tested to be
+  // bit-exact (tests/fastsim_diff_test.cpp), so the choice only affects speed.
+  std::unique_ptr<NetlistSim> refSim;
+  std::unique_ptr<FastSim> fastSim;
+  if (opt_.engine == SimEngine::Reference) {
+    refSim = std::make_unique<NetlistSim>(module_);
+    refSim->reset();
+  } else {
+    fastSim = std::make_unique<FastSim>(module_);
+  }
+  auto setSimInput = [&](size_t port, const Value& v) {
+    if (refSim) {
+      refSim->setInput(port, v);
+    } else {
+      fastSim->setInput(port, v);
+    }
+  };
+  auto evalSim = [&] { refSim ? refSim->eval() : fastSim->eval(); };
+  auto tickSim = [&](bool en) { refSim ? refSim->tick(en) : fastSim->tick(en); };
+  auto simOutput = [&](size_t port) { return refSim ? refSim->output(port) : fastSim->output(port); };
   std::unique_ptr<VcdRecorder> vcdRecorder;
   if (opt_.recordVcd) vcdRecorder = std::make_unique<VcdRecorder>(module_, /*onlyNamed=*/true);
   const int latency = module_.latency;
@@ -183,7 +201,7 @@ interp::KernelIO System::run(const interp::KernelIO& io) {
 
     // Valid strobe: high exactly when a real iteration enters the pipe.
     if (!dp_.feedbacks.empty()) {
-      sim.setInput(inSources.size(), Value::ofBool(canIssue));
+      setSimInput(inSources.size(), Value::ofBool(canIssue));
     }
     if (canIssue) {
       // Present iteration `issued` to the data path.
@@ -196,20 +214,26 @@ interp::KernelIO System::run(const interp::KernelIO& io) {
         const InSource& src = inSources[p];
         switch (src.kind) {
           case InSource::Kind::Window:
-            sim.setInput(p, windows[src.stream][src.access]);
+            setSimInput(p, windows[src.stream][src.access]);
             break;
           case InSource::Kind::Scalar:
-            sim.setInput(p, src.scalar);
+            setSimInput(p, src.scalar);
             break;
           case InSource::Kind::Induction:
-            sim.setInput(p, Value::ofInt(ivs[static_cast<size_t>(src.loop)]));
+            setSimInput(p, Value::ofInt(ivs[static_cast<size_t>(src.loop)]));
             break;
         }
       }
     }
 
-    sim.eval();
-    if (vcdRecorder) vcdRecorder->sample(sim);
+    evalSim();
+    if (vcdRecorder) {
+      if (refSim) {
+        vcdRecorder->sample(*refSim);
+      } else {
+        vcdRecorder->sample(*fastSim);
+      }
+    }
 
     if (enable) {
       const int64_t tOut = enabledCount - latency;
@@ -222,7 +246,7 @@ interp::KernelIO System::run(const interp::KernelIO& io) {
         }
         for (size_t p = 0; p < outSinks.size(); ++p) {
           const OutSink& sink = outSinks[p];
-          const Value v = sim.output(p);
+          const Value v = simOutput(p);
           if (sink.kind == OutSink::Kind::Window) {
             outWindows[sink.stream][sink.access] = v;
           } else {
@@ -235,7 +259,7 @@ interp::KernelIO System::run(const interp::KernelIO& io) {
         }
         ++captured;
       }
-      sim.tick(true);
+      tickSim(true);
       ++enabledCount;
       ++stats_.enabledCycles;
       if (canIssue) {
@@ -244,16 +268,16 @@ interp::KernelIO System::run(const interp::KernelIO& io) {
       }
       // Snapshot feedback registers whose latest update belonged to a valid
       // iteration (flush cycles would otherwise clobber them).
-      sim.eval();
+      evalSim();
       for (size_t f = 0; f < dp_.feedbacks.size(); ++f) {
         const auto& fb = dp_.feedbacks[f];
         const int64_t iterOfUpdate = (enabledCount - 1) - fb.stage;
         if (iterOfUpdate >= 0 && iterOfUpdate < total) {
-          fbFinal[fb.name] = sim.output(dp_.outputs.size() + f).toInt();
+          fbFinal[fb.name] = simOutput(dp_.outputs.size() + f).toInt();
         }
       }
     } else {
-      sim.tick(false);
+      tickSim(false);
       ++stats_.stallCycles;
     }
   }

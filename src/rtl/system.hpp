@@ -13,6 +13,7 @@
 #include "hlir/kernel.hpp"
 #include "interp/interp.hpp"
 #include "rtl/buffers.hpp"
+#include "rtl/fastsim.hpp"
 #include "rtl/netlist.hpp"
 #include "support/diag.hpp"
 
@@ -22,6 +23,10 @@ struct SystemOptions {
   int inputBusElems = 1;   ///< elements each smart buffer fetches per clock
   int outputBusElems = 0;  ///< 0: wide enough for one window per clock
   bool useSmartBuffer = true; ///< false: naive re-fetching buffer (ablation)
+  /// Which netlist engine clocks the data path. Fast is the compiled
+  /// slot-indexed engine (rtl/fastsim.hpp); Reference is the boxed-Value
+  /// oracle it is differentially tested against.
+  SimEngine engine = SimEngine::Fast;
   int64_t cycleLimit = 50'000'000;
   /// Record a VCD waveform of the data-path module during the run
   /// (retrieve with System::vcd()).

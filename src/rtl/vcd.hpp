@@ -11,6 +11,7 @@
 #include <string>
 #include <vector>
 
+#include "rtl/fastsim.hpp"
 #include "rtl/netlist.hpp"
 
 namespace roccc::rtl {
@@ -23,6 +24,8 @@ class VcdRecorder {
 
   /// Captures the current net values as one timestep (call after eval()).
   void sample(const NetlistSim& sim);
+  /// Same, from one lane of the fast engine.
+  void sample(const FastSim& sim, int lane = 0);
 
   /// Full VCD text for the samples so far.
   std::string render() const;

@@ -39,9 +39,18 @@ class KernelFuzzer {
     useFeedback_ = pick(3) == 0;
     useBranch_ = pick(2) == 0;
     useInduction_ = pick(4) == 0;
+    // Sometimes route a window element through a pure unary callee — these
+    // are the calls the compiler may either inline or turn into lookup
+    // tables (convertCallsToLuts), so both paths get fuzz coverage. The
+    // callee input width stays within the default 10-bit LUT index limit.
+    useCallee_ = elemBits <= 8 && pick(2) == 0;
 
     std::string body = expr(3, taps, stride);
+    if (useCallee_) body = fmt("(%0 + u)", body);
     std::string stmts;
+    if (useCallee_) {
+      stmts += fmt("      hfn(%0, u);\n", windowRef(taps, stride));
+    }
     if (useBranch_) {
       const std::string cond = fmt("%0 < %1", windowRef(taps, stride), literal());
       stmts += fmt("      if (%0) { t = %1; } else { t = %2; }\n", cond, body, expr(2, taps, stride));
@@ -55,14 +64,19 @@ class KernelFuzzer {
       stmts += "      C[i] = t;\n";
     }
 
+    const std::string helper =
+        useCallee_ ? fmt("void hfn(%0 x, int32* r) { *r = ((x * 11) ^ (x >> 2)) - 29; }\n",
+                         elemTy.str())
+                   : std::string();
     g.source = fmt(R"(
-%4void k(const %0 A[%1], int32 C[%2]) {
+%4%5void k(const %0 A[%1], int32 C[%2]) {
   int i;
   int32 t;
-  for (i = 0; i < %2; i++) {
+%6  for (i = 0; i < %2; i++) {
 %3  }
 }
-)", elemTy.str(), inLen, iters, stmts, useFeedback_ ? "int32 s = 0;\n" : "");
+)", elemTy.str(), inLen, iters, stmts, helper, useFeedback_ ? "int32 s = 0;\n" : "",
+        useCallee_ ? "  int32 u;\n" : "");
 
     std::uniform_int_distribution<int64_t> dist(elemTy.minValue(), elemTy.maxValue());
     for (int i = 0; i < inLen; ++i) g.inputs.arrays["A"].push_back(dist(rng_));
@@ -74,6 +88,7 @@ class KernelFuzzer {
   bool useFeedback_ = false;
   bool useBranch_ = false;
   bool useInduction_ = false;
+  bool useCallee_ = false;
 
   int pick(int n) { return static_cast<int>(rng_() % static_cast<uint64_t>(n)); }
 
@@ -163,6 +178,56 @@ TEST_P(FuzzWidthSweep, AllWidthModesAgree) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, FuzzWidthSweep, ::testing::Values(3, 9, 27, 81));
+
+// Compiler-configuration fuzz: the cross product of the scalar optimization
+// pipeline (on/off) and call-to-LUT conversion (on/off) must produce
+// hardware with identical observable behavior, and on every configuration
+// the fast engine must agree both with the interpreter and with the
+// reference netlist engine driven through the same System.
+class FuzzEngineConfigSweep : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(FuzzEngineConfigSweep, OptimizeAndLutConfigsAgreeOnBothEngines) {
+  KernelFuzzer fuzzer(GetParam() * 2654435761ull);
+  for (int round = 0; round < 3; ++round) {
+    const auto g = fuzzer.generate();
+    bool haveBaseline = false;
+    interp::KernelIO baseline;
+    for (const bool optimize : {true, false}) {
+      for (const bool luts : {true, false}) {
+        CompileOptions opt;
+        opt.optimize = optimize;
+        opt.convertCallsToLuts = luts;
+        Compiler c(opt);
+        const CompileResult r = c.compileSource(g.source);
+        ASSERT_TRUE(r.ok) << g.source << "\n" << r.diags.dump();
+        // Fast engine vs interpreter (cosimulate defaults to SimEngine::Fast).
+        const CosimReport rep = cosimulate(r, g.source, g.inputs);
+        ASSERT_TRUE(rep.match) << "optimize=" << optimize << " luts=" << luts << "\n"
+                               << g.source << "\n" << rep.mismatch;
+        // Fast engine vs the reference engine on the identical circuit.
+        rtl::SystemOptions refOpt;
+        refOpt.engine = rtl::SimEngine::Reference;
+        rtl::System refSys(r.kernel, r.datapath, r.module, refOpt);
+        const interp::KernelIO refOut = refSys.run(g.inputs);
+        ASSERT_TRUE(refOut.arrays == rep.hardware.arrays && refOut.scalars == rep.hardware.scalars)
+            << "reference and fast engines disagree (optimize=" << optimize << " luts=" << luts
+            << ")\n" << g.source;
+        // All four compiler configurations observe the same kernel semantics.
+        if (!haveBaseline) {
+          baseline = rep.hardware;
+          haveBaseline = true;
+        } else {
+          ASSERT_TRUE(baseline.arrays == rep.hardware.arrays &&
+                      baseline.scalars == rep.hardware.scalars)
+              << "configuration changes output (optimize=" << optimize << " luts=" << luts
+              << ")\n" << g.source;
+        }
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FuzzEngineConfigSweep, ::testing::Values(7, 14, 21, 28, 42, 56));
 
 // 2-D kernel fuzz: nested loops, rectangular windows, line-buffered smart
 // buffers. Complements the 1-D fuzzer above.

@@ -11,6 +11,10 @@ CompileResult compile(const std::string& src, CompileOptions opt = {}) {
   Compiler c(opt);
   CompileResult r = c.compileSource(src);
   EXPECT_TRUE(r.ok) << r.diags.dump();
+  if (r.ok) {
+    std::vector<std::string> errors;
+    EXPECT_TRUE(r.module.verify(errors)) << "module verify: " << join(errors, "\n");
+  }
   return r;
 }
 

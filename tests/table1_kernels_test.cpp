@@ -20,6 +20,10 @@ CompileResult compile(const char* src, CompileOptions opt = {}) {
   Compiler c(opt);
   CompileResult r = c.compileSource(src);
   EXPECT_TRUE(r.ok) << r.diags.dump();
+  if (r.ok) {
+    std::vector<std::string> errors;
+    EXPECT_TRUE(r.module.verify(errors)) << "module verify: " << join(errors, "\n");
+  }
   return r;
 }
 

@@ -18,6 +18,8 @@
 //   --testbench      also write <output>_tb.vhd with random vectors
 //   --cosim          run the cycle-accurate system on random inputs and
 //                    verify against the interpreter
+//   --sim-engine E   netlist engine for --cosim: 'fast' (compiled,
+//                    default) or 'ref' (boxed-Value reference)
 //   --vcd FILE       with --cosim: dump a VCD waveform of the run
 //   --verilog FILE   also write the Verilog form of the design
 //   --json FILE      export the data-path graph as JSON (Fig 1's graph
@@ -47,6 +49,7 @@ struct Args {
   roccc::CompileOptions options;
   bool testbench = false;
   bool cosim = false;
+  roccc::rtl::SimEngine engine = roccc::rtl::SimEngine::Fast;
   std::string vcdPath;
   std::string verilogPath;
   std::string jsonPath;
@@ -59,7 +62,8 @@ int usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s [-o out.vhd] [--kernel NAME] [--unroll N] [--target-ns X]\n"
                "          [--mult-style lut|mult18] [--no-infer] [--no-pipeline]\n"
-               "          [--testbench] [--cosim] [--dump-datapath] [--dump-mir]\n"
+               "          [--testbench] [--cosim] [--sim-engine ref|fast]\n"
+               "          [--dump-datapath] [--dump-mir]\n"
                "          [--quiet] kernel.c\n",
                argv0);
   return 2;
@@ -103,6 +107,16 @@ bool parseArgs(int argc, char** argv, Args& a) {
       a.testbench = true;
     } else if (arg == "--cosim") {
       a.cosim = true;
+    } else if (arg == "--sim-engine") {
+      const char* v = next();
+      if (!v) return false;
+      if (std::strcmp(v, "ref") == 0 || std::strcmp(v, "reference") == 0) {
+        a.engine = roccc::rtl::SimEngine::Reference;
+      } else if (std::strcmp(v, "fast") == 0) {
+        a.engine = roccc::rtl::SimEngine::Fast;
+      } else {
+        return false;
+      }
     } else if (arg == "--vcd") {
       const char* v = next();
       if (!v) return false;
@@ -259,16 +273,19 @@ int main(int argc, char** argv) {
     const auto io = randomInputs(r.kernel, 1234);
     roccc::rtl::SystemOptions sysOpt;
     sysOpt.recordVcd = !a.vcdPath.empty();
+    sysOpt.engine = a.engine;
     const auto rep = roccc::cosimulate(r, source, io, sysOpt);
     if (!rep.match) {
       std::fprintf(stderr, "COSIMULATION MISMATCH: %s\n", rep.mismatch.c_str());
       return 1;
     }
     if (!a.quiet) {
-      std::printf("cosimulation: MATCH (%lld cycles, %lld iterations, %lld BRAM reads)\n",
+      std::printf("cosimulation: MATCH (%lld cycles, %lld iterations, %lld BRAM reads, "
+                  "%s engine)\n",
                   static_cast<long long>(rep.stats.cycles),
                   static_cast<long long>(rep.stats.iterations),
-                  static_cast<long long>(rep.stats.bramReads));
+                  static_cast<long long>(rep.stats.bramReads),
+                  roccc::rtl::simEngineName(a.engine));
     }
     if (!a.vcdPath.empty()) {
       roccc::rtl::System sys(r.kernel, r.datapath, r.module, sysOpt);
