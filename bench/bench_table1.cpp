@@ -31,13 +31,35 @@ struct Row {
   std::string note;
 };
 
-synth::Report compileAndEstimate(const char* src, CompileOptions opt = {}) {
+/// Per-kernel pipeline statistics captured from CompileResult::passLog —
+/// the compile-time side of the table (and the bench JSON).
+struct CompileTiming {
+  std::string name;
+  std::vector<PassStatistics> passes;
+
+  double totalMs() const {
+    double t = 0;
+    for (const auto& p : passes) t += p.wallMs;
+    return t;
+  }
+  double layerMs(PassLayer layer) const {
+    double t = 0;
+    for (const auto& p : passes) {
+      if (p.layer == layer) t += p.wallMs;
+    }
+    return t;
+  }
+};
+std::vector<CompileTiming> g_timings;
+
+synth::Report compileAndEstimate(const char* name, const char* src, CompileOptions opt = {}) {
   Compiler c(opt);
   const CompileResult r = c.compileSource(src);
   if (!r.ok) {
     std::fprintf(stderr, "compile failed:\n%s\n", r.diags.dump().c_str());
     std::exit(1);
   }
+  g_timings.push_back({name, r.passLog});
   return synth::estimate(r.module);
 }
 
@@ -83,13 +105,13 @@ int main() {
   // bit_correlator ------------------------------------------------------------
   {
     const auto ip = synth::estimate(ip::buildBitCorrelator(181));
-    const auto rc = compileAndEstimate(bench::kBitCorrelator);
+    const auto rc = compileAndEstimate("bit_correlator", bench::kBitCorrelator);
     rows.push_back({"bit_correlator", ip.fmaxMHz(), ip.slices, rc.fmaxMHz(), rc.slices, ""});
   }
   // mul_acc ---------------------------------------------------------------------
   {
     const auto ip = synth::estimate(ip::buildMulAcc());
-    const auto rc = compileAndEstimate(bench::kMulAcc);
+    const auto rc = compileAndEstimate("mul_acc", bench::kMulAcc);
     rows.push_back({"mul_acc", ip.fmaxMHz(), ip.slices, rc.fmaxMHz(), rc.slices,
                     "if-else adds mux nodes"});
   }
@@ -100,14 +122,14 @@ int main() {
     // The generated divider pipelines one restoring row per stage (how the
     // paper's udiv clocked 26% above the IP).
     opt.dpOptions.targetStageDelayNs = 3.0;
-    const auto rc = compileAndEstimate(bench::kUdiv, opt);
+    const auto rc = compileAndEstimate("udiv", bench::kUdiv, opt);
     rows.push_back({"udiv", ip.fmaxMHz(), ip.slices, rc.fmaxMHz(), rc.slices,
                     "compiler-built restoring divider"});
   }
   // square root --------------------------------------------------------------------
   {
     const auto ip = synth::estimate(ip::buildSquareRoot24());
-    const auto rc = compileAndEstimate(bench::kSquareRoot);
+    const auto rc = compileAndEstimate("square_root", bench::kSquareRoot);
     rows.push_back({"square root", ip.fmaxMHz(), ip.slices, rc.fmaxMHz(), rc.slices,
                     "12-step digit recurrence unrolled"});
   }
@@ -128,7 +150,7 @@ int main() {
   // FIR (x2 filters, LUT multiplier style) ---------------------------------------------------
   {
     const auto ip = synth::estimate(ip::buildFir5());
-    const auto rc = compileAndEstimate(bench::kFir); // one filter; the IP holds two
+    const auto rc = compileAndEstimate("fir", bench::kFir); // one filter; the IP holds two
     rows.push_back({"FIR", ip.fmaxMHz(), ip.slices, rc.fmaxMHz(), 2 * rc.slices,
                     "two 5-tap filters, multiplier style LUT"});
   }
@@ -139,7 +161,7 @@ int main() {
     // The paper's DCT trades clock for area: ROCCC ran at 73.5% of the IP
     // clock. A looser stage target reproduces that operating point.
     opt.dpOptions.targetStageDelayNs = 7.5;
-    const auto rc = compileAndEstimate(bench::kDct, opt);
+    const auto rc = compileAndEstimate("dct", bench::kDct, opt);
     rows.push_back({"DCT", ip.fmaxMHz(), ip.slices, rc.fmaxMHz(), rc.slices,
                     "ROCCC: 8 outputs/clock vs IP 1/clock"});
   }
@@ -154,6 +176,7 @@ int main() {
       std::fprintf(stderr, "wavelet compile failed:\n%s\n", r.diags.dump().c_str());
       return 1;
     }
+    g_timings.push_back({"wavelet", r.passLog});
     auto rep = synth::estimate(r.module);
     // Engine area adds the memory subsystem: a 5-row x 66-col image window
     // keeps 4 lines + 3 elements of 16-bit data on chip.
@@ -204,6 +227,37 @@ int main() {
               ratio(6));
   std::printf("  - clock rates stay comparable across the board (paper: within ~10%% for\n"
               "    most rows; DCT intentionally trades clock for 8x throughput).\n");
+
+  // --- pipeline compile time ----------------------------------------------------
+  // Per-kernel wall time through the PassManager pipeline, broken down by
+  // layer (the CompileResult::passLog records), plus a machine-readable
+  // JSON line per kernel for downstream tooling.
+  std::printf("\nPipeline compile time per kernel (PassManager stats):\n\n");
+  std::printf("  %-15s | %9s | %8s | %8s | %8s | %8s | %8s\n", "kernel", "total ms", "hlir ms",
+              "mir ms", "dp ms", "rtl ms", "vhdl ms");
+  std::printf("  ----------------+-----------+----------+----------+----------+----------+"
+              "---------\n");
+  for (const CompileTiming& t : g_timings) {
+    std::printf("  %-15s | %9.3f | %8.3f | %8.3f | %8.3f | %8.3f | %8.3f\n", t.name.c_str(),
+                t.totalMs(), t.layerMs(PassLayer::Hlir), t.layerMs(PassLayer::Mir),
+                t.layerMs(PassLayer::Dp), t.layerMs(PassLayer::Rtl), t.layerMs(PassLayer::Vhdl));
+  }
+  std::printf("\nbench_table1 compile-time JSON:\n");
+  std::printf("{\"kernels\": [");
+  for (size_t i = 0; i < g_timings.size(); ++i) {
+    const CompileTiming& t = g_timings[i];
+    std::printf("%s{\"name\": \"%s\", \"compileMs\": %.3f, \"passes\": [", i ? ", " : "",
+                t.name.c_str(), t.totalMs());
+    bool first = true;
+    for (const auto& p : t.passes) {
+      if (!p.ran) continue;
+      std::printf("%s{\"name\": \"%s\", \"layer\": \"%s\", \"wallMs\": %.4f}", first ? "" : ", ",
+                  p.name.c_str(), passLayerName(p.layer), p.wallMs);
+      first = false;
+    }
+    std::printf("]}");
+  }
+  std::printf("]}\n");
 
   // --- netlist engine comparison ------------------------------------------------
   // The same compiled modules, cosimulated end-to-end (smart buffer,

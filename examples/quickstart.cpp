@@ -30,7 +30,7 @@ int main() {
   }
 
   std::printf("== compiled kernel '%s' ==\n", result.kernel.kernelName.c_str());
-  for (const auto& line : result.passLog) std::printf("  %s\n", line.c_str());
+  std::printf("%s", roccc::statsToTable(result.passLog).c_str());
 
   // 3. The generated data path: nodes, stages, inferred widths.
   std::printf("\n== data path ==\n%s\n", result.datapath.dump().c_str());

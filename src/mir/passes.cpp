@@ -436,21 +436,23 @@ void canonicalizeSideEffects(FunctionIR& f) {
   }
 }
 
-std::vector<std::string> runStandardPasses(FunctionIR& f) {
-  std::vector<std::string> log;
+StandardPassStats runStandardPasses(FunctionIR& f) {
+  StandardPassStats stats;
   for (int round = 0; round < 8; ++round) {
-    int total = 0;
     const int cp = constantPropagate(f);
     const int cop = copyPropagate(f);
     const int sr = strengthReduce(f);
     const int cse = commonSubexpressionEliminate(f);
     const int dce = deadCodeEliminate(f);
-    total = cp + cop + sr + cse + dce;
-    log.push_back(fmt("round %0: constprop=%1 copyprop=%2 strength=%3 cse=%4 dce=%5", round, cp,
-                      cop, sr, cse, dce));
-    if (total == 0) break;
+    ++stats.rounds;
+    stats.constProp += cp;
+    stats.copyProp += cop;
+    stats.strength += sr;
+    stats.cse += cse;
+    stats.dce += dce;
+    if (cp + cop + sr + cse + dce == 0) break;
   }
-  return log;
+  return stats;
 }
 
 } // namespace roccc::mir

@@ -21,9 +21,22 @@ int deadCodeEliminate(FunctionIR& f);
 /// identities (x+0, x*1, x*0, x&0, ...) simplify.
 int strengthReduce(FunctionIR& f);
 
-/// Runs the standard pipeline to a fixed point; returns a per-pass change
-/// log ("pass: n") for reports.
-std::vector<std::string> runStandardPasses(FunctionIR& f);
+/// Typed change counters from runStandardPasses — consumed by the
+/// PassManager's PassStatistics records (no free-text log).
+struct StandardPassStats {
+  int rounds = 0; ///< fixed-point rounds executed
+  int constProp = 0;
+  int copyProp = 0;
+  int strength = 0;
+  int cse = 0;
+  int dce = 0;
+
+  int total() const { return constProp + copyProp + strength + cse + dce; }
+};
+
+/// Runs the standard pipeline to a fixed point; returns the accumulated
+/// per-pass change counters.
+StandardPassStats runStandardPasses(FunctionIR& f);
 
 /// Rewrites side effects into value form so SSA can merge conditional
 /// writes (run BEFORE buildSSA): every `Out port, v` / `Snx fb, v` becomes a

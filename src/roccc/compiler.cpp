@@ -13,105 +13,216 @@
 
 namespace roccc {
 
-CompileResult Compiler::compileSource(const std::string& cSource) const {
-  CompileResult r;
+namespace {
+
+/// Number of instructions across all MIR blocks (pass counter helper).
+int64_t mirInstrCount(const mir::FunctionIR& f) {
+  int64_t n = 0;
+  for (const auto& b : f.blocks) n += static_cast<int64_t>(b.instrs.size());
+  return n;
+}
+
+int64_t mirPhiCount(const mir::FunctionIR& f) {
+  int64_t n = 0;
+  for (const auto& b : f.blocks) {
+    for (const auto& in : b.instrs) {
+      if (in.op == mir::Opcode::Phi) ++n;
+    }
+  }
+  return n;
+}
+
+} // namespace
+
+PassManager Compiler::buildPipeline() const {
+  const CompileOptions& opts = options_;
+  PassManager pm(opts.pipeline);
 
   // --- front end --------------------------------------------------------------
-  ast::Module m = ast::parse(cSource, r.diags);
-  if (r.diags.hasErrors()) return r;
-  if (!ast::analyze(m, r.diags)) return r;
-
-  std::string kernelName = options_.kernelName;
-  if (kernelName.empty()) {
-    if (m.functions.empty()) {
-      r.diags.error({}, "no functions in the module");
-      return r;
-    }
-    kernelName = m.functions.back().name;
-  }
-  ast::Function* kernel = m.findFunction(kernelName);
-  if (!kernel) {
-    r.diags.error({}, fmt("no kernel named '%0'", kernelName));
-    return r;
-  }
+  pm.addPass({"parse", PassLayer::Frontend,
+              [](PassContext& ctx, PassStatistics& st) {
+                ctx.module = ast::parse(ctx.source, ctx.diags());
+                if (ctx.diags().hasErrors()) return false;
+                if (!ast::analyze(ctx.module, ctx.diags())) return false;
+                ctx.kernelName = ctx.options.kernelName;
+                if (ctx.kernelName.empty()) {
+                  if (ctx.module.functions.empty()) {
+                    ctx.diags().error({}, "no functions in the module");
+                    return false;
+                  }
+                  ctx.kernelName = ctx.module.functions.back().name;
+                }
+                if (!ctx.kernel()) {
+                  ctx.diags().error({}, fmt("no kernel named '%0'", ctx.kernelName));
+                  return false;
+                }
+                st.add("functions", static_cast<int64_t>(ctx.module.functions.size()));
+                return true;
+              }});
 
   // --- loop-level transforms (section 2 / 4.1) ----------------------------------
   // "Function calls will either be inlined or whenever feasible made into a
   // lookup table" (section 2): lookup-table conversion gets first pick —
   // feasible pure unary callees become ROMs, everything left is inlined.
-  int luts = 0;
-  if (options_.convertCallsToLuts) {
-    luts = hlir::convertCallsToLookupTables(m, r.diags, options_.lutMaxIndexBits);
-    if (r.diags.hasErrors()) return r;
-  }
-  const int inlined = hlir::inlineCalls(m, r.diags);
-  if (r.diags.hasErrors()) return r;
-  const int folded = hlir::constantFold(m, r.diags);
-  if (r.diags.hasErrors()) return r;
-  kernel = m.findFunction(kernelName);
-  const int fused = hlir::fuseAdjacentLoops(m, *kernel, r.diags);
-  if (r.diags.hasErrors()) return r;
-  int innerUnrolled = 0;
-  if (options_.fullUnrollInnerLoops) {
-    innerUnrolled = hlir::fullyUnrollInnerLoops(m, *kernel, r.diags, options_.maxInnerUnrollTrip);
-    if (r.diags.hasErrors()) return r;
-  }
-  int unrollFactor = options_.unrollFactor;
-  if (options_.autoUnrollSliceBudget > 0) {
-    // Area-estimation-driven unrolling (section 2 / ref [13]): largest
-    // power-of-two factor whose estimated slice count fits the budget.
-    kernel = m.findFunction(kernelName);
-    int64_t trips = 0;
-    ast::forEachStmt(*kernel->body, [&](const ast::Stmt& s) {
-      if (s.kind == ast::StmtKind::For && trips == 0) {
-        const auto& f = static_cast<const ast::ForStmt&>(s);
-        const auto b = ast::evalConstant(*f.begin);
-        const auto e = ast::evalConstant(*f.end);
-        if (b && e && *e > *b) trips = (*e - *b + f.step - 1) / f.step;
-      }
-    });
-    if (trips > 1) {
-      unrollFactor = hlir::chooseUnrollFactor(*kernel, trips, options_.autoUnrollSliceBudget);
-    }
-  }
-  if (unrollFactor > 1) {
-    kernel = m.findFunction(kernelName);
-    if (!hlir::unrollInnerLoop(m, *kernel, unrollFactor, r.diags)) return r;
-  }
-  r.passLog.push_back(fmt("hlir: inlined=%0 lut-converted=%1 const-folds=%2 fused=%3 "
-                          "inner-unrolled=%4 unroll-factor=%5",
-                          inlined, luts, folded, fused, innerUnrolled, unrollFactor));
-  r.transformedSource = ast::printModule(m);
+  pm.addPass({"lut-convert", PassLayer::Hlir,
+              [](PassContext& ctx, PassStatistics& st) {
+                const int luts = hlir::convertCallsToLookupTables(ctx.module, ctx.diags(),
+                                                                  ctx.options.lutMaxIndexBits);
+                st.add("lut-converted", luts);
+                return !ctx.diags().hasErrors();
+              },
+              opts.convertCallsToLuts});
+  pm.addPass({"inline", PassLayer::Hlir, [](PassContext& ctx, PassStatistics& st) {
+                st.add("inlined", hlir::inlineCalls(ctx.module, ctx.diags()));
+                return !ctx.diags().hasErrors();
+              }});
+  pm.addPass({"const-fold", PassLayer::Hlir, [](PassContext& ctx, PassStatistics& st) {
+                st.add("folded", hlir::constantFold(ctx.module, ctx.diags()));
+                return !ctx.diags().hasErrors();
+              }});
+  pm.addPass({"fuse-loops", PassLayer::Hlir, [](PassContext& ctx, PassStatistics& st) {
+                st.add("fused", hlir::fuseAdjacentLoops(ctx.module, *ctx.kernel(), ctx.diags()));
+                return !ctx.diags().hasErrors();
+              }});
+  pm.addPass({"unroll-inner-full", PassLayer::Hlir,
+              [](PassContext& ctx, PassStatistics& st) {
+                st.add("inner-unrolled",
+                       hlir::fullyUnrollInnerLoops(ctx.module, *ctx.kernel(), ctx.diags(),
+                                                   ctx.options.maxInnerUnrollTrip));
+                return !ctx.diags().hasErrors();
+              },
+              opts.fullUnrollInnerLoops});
+  pm.addPass({"unroll", PassLayer::Hlir, [](PassContext& ctx, PassStatistics& st) {
+                int unrollFactor = ctx.options.unrollFactor;
+                if (ctx.options.autoUnrollSliceBudget > 0) {
+                  // Area-estimation-driven unrolling (section 2 / ref [13]):
+                  // largest power-of-two factor whose estimated slice count
+                  // fits the budget.
+                  int64_t trips = 0;
+                  ast::forEachStmt(*ctx.kernel()->body, [&](const ast::Stmt& s) {
+                    if (s.kind == ast::StmtKind::For && trips == 0) {
+                      const auto& f = static_cast<const ast::ForStmt&>(s);
+                      const auto b = ast::evalConstant(*f.begin);
+                      const auto e = ast::evalConstant(*f.end);
+                      if (b && e && *e > *b) trips = (*e - *b + f.step - 1) / f.step;
+                    }
+                  });
+                  if (trips > 1) {
+                    unrollFactor = hlir::chooseUnrollFactor(*ctx.kernel(), trips,
+                                                            ctx.options.autoUnrollSliceBudget);
+                  }
+                  st.add("trip-count", trips);
+                }
+                if (unrollFactor > 1 &&
+                    !hlir::unrollInnerLoop(ctx.module, *ctx.kernel(), unrollFactor, ctx.diags())) {
+                  return false;
+                }
+                st.add("unroll-factor", unrollFactor);
+                ctx.result.transformedSource = ast::printModule(ctx.module);
+                return true;
+              }});
 
   // --- kernel extraction (section 4.1 / 4.2.1) ------------------------------------
-  if (!hlir::extractKernel(m, kernelName, r.kernel, r.diags)) return r;
+  pm.addPass({"extract-kernel", PassLayer::Hlir, [](PassContext& ctx, PassStatistics& st) {
+                if (!hlir::extractKernel(ctx.module, ctx.kernelName, ctx.result.kernel,
+                                         ctx.diags())) {
+                  return false;
+                }
+                st.add("input-streams", static_cast<int64_t>(ctx.result.kernel.inputs.size()));
+                st.add("output-streams", static_cast<int64_t>(ctx.result.kernel.outputs.size()));
+                st.add("feedbacks", static_cast<int64_t>(ctx.result.kernel.feedbacks.size()));
+                return true;
+              }});
 
   // --- back end (section 4.2) -----------------------------------------------------
-  if (!mir::lowerToMir(r.kernel.dpModule, r.kernel.dpName, r.mir, r.diags)) return r;
-  mir::canonicalizeSideEffects(r.mir);
-  mir::buildSSA(r.mir);
-  if (options_.optimize) {
-    auto log = mir::runStandardPasses(r.mir);
-    r.passLog.insert(r.passLog.end(), log.begin(), log.end());
-  }
-  std::vector<std::string> mirErrors;
-  if (!r.mir.verifySSA(mirErrors)) {
-    for (const auto& e : mirErrors) r.diags.error({}, "internal: post-pass MIR invalid: " + e);
-    return r;
-  }
+  pm.addPass({"lower-mir", PassLayer::Mir, [](PassContext& ctx, PassStatistics& st) {
+                if (!mir::lowerToMir(ctx.result.kernel.dpModule, ctx.result.kernel.dpName,
+                                     ctx.result.mir, ctx.diags())) {
+                  return false;
+                }
+                st.add("blocks", static_cast<int64_t>(ctx.result.mir.blocks.size()));
+                st.add("instrs", mirInstrCount(ctx.result.mir));
+                return true;
+              }});
+  pm.addPass({"canonicalize-effects", PassLayer::Mir, [](PassContext& ctx, PassStatistics& st) {
+                mir::canonicalizeSideEffects(ctx.result.mir);
+                st.add("instrs", mirInstrCount(ctx.result.mir));
+                return true;
+              }});
+  Pass ssaPass{"ssa-build", PassLayer::Mir, [](PassContext& ctx, PassStatistics& st) {
+                 mir::buildSSA(ctx.result.mir);
+                 ctx.mirInSSA = true;
+                 st.add("phis", mirPhiCount(ctx.result.mir));
+                 return true;
+               }};
+  ssaPass.alwaysVerify = true;
+  pm.addPass(std::move(ssaPass));
+  Pass optPass{"mir-optimize", PassLayer::Mir, [](PassContext& ctx, PassStatistics& st) {
+                 const auto s = mir::runStandardPasses(ctx.result.mir);
+                 st.add("rounds", s.rounds);
+                 st.add("constprop", s.constProp);
+                 st.add("copyprop", s.copyProp);
+                 st.add("strength", s.strength);
+                 st.add("cse", s.cse);
+                 st.add("dce", s.dce);
+                 return true;
+               }};
+  optPass.enabled = opts.optimize;
+  // The data-path generator requires valid SSA: verify even without
+  // --verify-each (the legacy driver's unconditional post-pass check).
+  optPass.alwaysVerify = true;
+  pm.addPass(std::move(optPass));
 
-  if (!dp::buildDataPath(r.mir, r.datapath, r.diags, options_.dpOptions)) return r;
-  r.passLog.push_back(fmt("datapath: %0 soft + %1 hard nodes, %2 stages, %3 narrowed bits, "
-                          "%4 pipeline register bits",
-                          r.datapath.softNodeCount, r.datapath.hardNodeCount, r.datapath.stageCount,
-                          r.datapath.narrowedBits, r.datapath.pipelineRegisterBits));
+  pm.addPass({"build-datapath", PassLayer::Dp, [](PassContext& ctx, PassStatistics& st) {
+                if (!dp::buildDataPath(ctx.result.mir, ctx.result.datapath, ctx.diags(),
+                                       ctx.options.dpOptions)) {
+                  return false;
+                }
+                const auto& d = ctx.result.datapath;
+                st.add("soft-nodes", d.softNodeCount);
+                st.add("hard-nodes", d.hardNodeCount);
+                st.add("stages", d.stageCount);
+                st.add("narrowed-bits", d.narrowedBits);
+                st.add("pipeline-register-bits", d.pipelineRegisterBits);
+                st.add("mux-ops", d.muxOpCount);
+                return true;
+              }});
+  Pass rtlPass{"build-rtl", PassLayer::Rtl, [](PassContext& ctx, PassStatistics& st) {
+                 if (!rtl::buildDatapathModule(ctx.result.datapath, ctx.result.module,
+                                               ctx.diags())) {
+                   return false;
+                 }
+                 st.add("cells", static_cast<int64_t>(ctx.result.module.cells.size()));
+                 st.add("nets", static_cast<int64_t>(ctx.result.module.nets.size()));
+                 st.add("register-bits", ctx.result.module.registerBits());
+                 return true;
+               }};
+  // The generated netlist is verified on every compile, not just in test
+  // helpers; failures surface as internal errors through the DiagEngine.
+  rtlPass.alwaysVerify = true;
+  pm.addPass(std::move(rtlPass));
 
-  if (!rtl::buildDatapathModule(r.datapath, r.module, r.diags)) return r;
+  // --- VHDL / Verilog (section 4.2.4) -----------------------------------------------
+  pm.addPass({"emit-vhdl", PassLayer::Vhdl, [](PassContext& ctx, PassStatistics& st) {
+                ctx.result.vhdl =
+                    vhdl::emitDesign(ctx.result.datapath, ctx.result.module, ctx.result.kernel);
+                st.add("bytes", static_cast<int64_t>(ctx.result.vhdl.size()));
+                return true;
+              }});
+  pm.addPass({"emit-verilog", PassLayer::Vhdl, [](PassContext& ctx, PassStatistics& st) {
+                ctx.result.verilog = verilog::emitDesign(ctx.result.datapath, ctx.result.kernel);
+                st.add("bytes", static_cast<int64_t>(ctx.result.verilog.size()));
+                return true;
+              }});
+  return pm;
+}
 
-  // --- VHDL (section 4.2.4) ---------------------------------------------------------
-  r.vhdl = vhdl::emitDesign(r.datapath, r.module, r.kernel);
-  r.verilog = verilog::emitDesign(r.datapath, r.kernel);
-
+CompileResult Compiler::compileSource(const std::string& cSource) const {
+  CompileResult r;
+  PassContext ctx(options_, r);
+  ctx.source = cSource;
+  const PassManager pm = buildPipeline();
+  pm.run(ctx, r.passLog);
   r.ok = !r.diags.hasErrors();
   return r;
 }

@@ -20,6 +20,7 @@
 #include "hlir/kernel.hpp"
 #include "interp/interp.hpp"
 #include "mir/ir.hpp"
+#include "roccc/pipeline.hpp"
 #include "rtl/netlist.hpp"
 #include "rtl/system.hpp"
 #include "support/diag.hpp"
@@ -51,6 +52,8 @@ struct CompileOptions {
   /// Data-path generation knobs (pipelining target, bit-width inference,
   /// multiplier style).
   dp::BuildOptions dpOptions;
+  /// Pipeline instrumentation: verify-each, print-after snapshots.
+  PipelineOptions pipeline;
 };
 
 struct CompileResult {
@@ -64,7 +67,9 @@ struct CompileResult {
   rtl::Module module;
   std::string vhdl; ///< generated RTL VHDL (all entities)
   std::string verilog; ///< generated Verilog (library extension)
-  std::vector<std::string> passLog;
+  /// One typed record per pipeline pass (name, layer, wall time, change
+  /// counters, optional IR snapshot) — see roccc/pipeline.hpp.
+  std::vector<PassStatistics> passLog;
 };
 
 class Compiler {
@@ -73,6 +78,13 @@ class Compiler {
 
   /// Compiles C source text end to end.
   CompileResult compileSource(const std::string& cSource) const;
+
+  /// The declared pass sequence compileSource runs: parse, the HLIR loop
+  /// transforms, kernel extraction, MIR lowering/SSA/optimization,
+  /// data-path construction, RTL build (always verified), and VHDL /
+  /// Verilog emission. Exposed so tools and tests can inspect, reorder, or
+  /// extend the pipeline.
+  PassManager buildPipeline() const;
 
   const CompileOptions& options() const { return options_; }
 

@@ -1,0 +1,218 @@
+#include "roccc/pipeline.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "roccc/compiler.hpp"
+#include "support/strings.hpp"
+#include "support/timer.hpp"
+#include "vhdl/check.hpp"
+#include "vhdl/verilog.hpp"
+
+namespace roccc {
+
+const char* passLayerName(PassLayer layer) {
+  switch (layer) {
+    case PassLayer::Frontend: return "frontend";
+    case PassLayer::Hlir: return "hlir";
+    case PassLayer::Mir: return "mir";
+    case PassLayer::Dp: return "dp";
+    case PassLayer::Rtl: return "rtl";
+    case PassLayer::Vhdl: return "vhdl";
+  }
+  return "?";
+}
+
+int64_t PassStatistics::counter(const std::string& key) const {
+  for (const auto& [k, v] : counters) {
+    if (k == key) return v;
+  }
+  return 0;
+}
+
+DiagEngine& PassContext::diags() { return result.diags; }
+
+std::vector<std::string> PassManager::passNames() const {
+  std::vector<std::string> names;
+  names.reserve(passes_.size());
+  for (const auto& p : passes_) names.push_back(p.name);
+  return names;
+}
+
+bool PassManager::wantsSnapshot(const std::string& passName) const {
+  if (options_.printAfterAll) return true;
+  return std::find(options_.printAfter.begin(), options_.printAfter.end(), passName) !=
+         options_.printAfter.end();
+}
+
+std::string PassManager::snapshotOf(const Pass& p, PassContext& ctx) const {
+  switch (p.layer) {
+    case PassLayer::Frontend:
+    case PassLayer::Hlir:
+      return ast::printModule(ctx.module);
+    case PassLayer::Mir:
+      return ctx.result.mir.dump();
+    case PassLayer::Dp:
+      return ctx.result.datapath.dump();
+    case PassLayer::Rtl:
+      return ctx.result.module.dump();
+    case PassLayer::Vhdl:
+      return ctx.result.vhdl;
+  }
+  return {};
+}
+
+bool PassManager::verifyAfter(const Pass& p, PassContext& ctx) const {
+  auto internal = [&](const std::string& what) {
+    ctx.diags().error({}, fmt("internal: verifier failed after pass '%0': %1", p.name, what));
+  };
+  switch (p.layer) {
+    case PassLayer::Frontend:
+    case PassLayer::Hlir: {
+      // Transforms re-run sema internally; the pipeline-level invariant is
+      // that the kernel is still resolvable by name.
+      if (!ctx.kernelName.empty() && ctx.kernel() == nullptr) {
+        internal(fmt("kernel '%0' no longer exists in the module", ctx.kernelName));
+        return false;
+      }
+      return true;
+    }
+    case PassLayer::Mir: {
+      std::vector<std::string> errors;
+      const bool ok = ctx.mirInSSA ? ctx.result.mir.verifySSA(errors)
+                                   : ctx.result.mir.verify(errors);
+      for (const auto& e : errors) internal(e);
+      return ok;
+    }
+    case PassLayer::Dp: {
+      // Structural sanity: every op's operands and result are valid values.
+      const auto& dp = ctx.result.datapath;
+      const int nValues = static_cast<int>(dp.values.size());
+      for (const auto& op : dp.ops) {
+        if (op.result >= nValues) {
+          internal(fmt("datapath op result value %0 out of range", op.result));
+          return false;
+        }
+        for (int v : op.operands) {
+          if (v < 0 || v >= nValues) {
+            internal(fmt("datapath op operand value %0 out of range", v));
+            return false;
+          }
+        }
+      }
+      return true;
+    }
+    case PassLayer::Rtl: {
+      std::vector<std::string> errors;
+      const bool ok = ctx.result.module.verify(errors);
+      for (const auto& e : errors) internal(e);
+      return ok;
+    }
+    case PassLayer::Vhdl: {
+      bool ok = true;
+      if (!ctx.result.vhdl.empty()) {
+        const auto chk = vhdl::checkDesign(ctx.result.vhdl);
+        for (const auto& e : chk.problems) internal("vhdl: " + e);
+        ok = chk.ok && ok;
+      }
+      if (!ctx.result.verilog.empty()) {
+        const auto chk = verilog::checkDesign(ctx.result.verilog);
+        for (const auto& e : chk.problems) internal("verilog: " + e);
+        ok = chk.ok && ok;
+      }
+      return ok;
+    }
+  }
+  return true;
+}
+
+bool PassManager::run(PassContext& ctx, std::vector<PassStatistics>& stats) const {
+  for (const Pass& p : passes_) {
+    PassStatistics st;
+    st.name = p.name;
+    st.layer = p.layer;
+    if (!p.enabled) {
+      stats.push_back(std::move(st));
+      continue;
+    }
+    st.ran = true;
+    WallTimer timer;
+    const bool ok = p.run(ctx, st);
+    st.wallMs = timer.elapsedMs();
+    const bool failed = !ok || ctx.diags().hasErrors();
+    if (!failed && wantsSnapshot(p.name)) st.snapshot = snapshotOf(p, ctx);
+    stats.push_back(std::move(st));
+    if (failed) return false;
+    if ((options_.verifyEach || p.alwaysVerify) && !verifyAfter(p, ctx)) return false;
+  }
+  return true;
+}
+
+namespace {
+
+std::string jsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+} // namespace
+
+std::string statsToJson(const std::vector<PassStatistics>& stats) {
+  std::ostringstream os;
+  os << "{\n  \"passes\": [\n";
+  double totalMs = 0;
+  for (size_t i = 0; i < stats.size(); ++i) {
+    const auto& s = stats[i];
+    totalMs += s.wallMs;
+    os << "    {\"name\": \"" << jsonEscape(s.name) << "\", \"layer\": \""
+       << passLayerName(s.layer) << "\", \"wallMs\": " << s.wallMs
+       << ", \"ran\": " << (s.ran ? "true" : "false") << ", \"counters\": {";
+    for (size_t c = 0; c < s.counters.size(); ++c) {
+      if (c) os << ", ";
+      os << '"' << jsonEscape(s.counters[c].first) << "\": " << s.counters[c].second;
+    }
+    os << "}}" << (i + 1 < stats.size() ? "," : "") << "\n";
+  }
+  os << "  ],\n  \"totalMs\": " << totalMs << "\n}\n";
+  return os.str();
+}
+
+std::string statsToTable(const std::vector<PassStatistics>& stats) {
+  std::ostringstream os;
+  double totalMs = 0;
+  for (const auto& s : stats) totalMs += s.wallMs;
+  char head[128];
+  std::snprintf(head, sizeof head, "  %-9s %-20s %10s  %s\n", "layer", "pass", "wall", "counters");
+  os << "=== pass timing (total " << formatMs(totalMs) << ") ===\n" << head;
+  for (const auto& s : stats) {
+    char row[160];
+    std::snprintf(row, sizeof row, "  %-9s %-20s %10s  ", passLayerName(s.layer), s.name.c_str(),
+                  s.ran ? formatMs(s.wallMs).c_str() : "(skipped)");
+    os << row;
+    for (size_t c = 0; c < s.counters.size(); ++c) {
+      if (c) os << ' ';
+      os << s.counters[c].first << '=' << s.counters[c].second;
+    }
+    os << '\n';
+  }
+  return os.str();
+}
+
+} // namespace roccc

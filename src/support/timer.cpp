@@ -1,0 +1,19 @@
+#include "support/timer.hpp"
+
+#include <cstdio>
+
+namespace roccc {
+
+std::string formatMs(double ms) {
+  char buf[32];
+  if (ms >= 1000.0) {
+    std::snprintf(buf, sizeof buf, "%.3f s", ms / 1000.0);
+  } else if (ms >= 1.0) {
+    std::snprintf(buf, sizeof buf, "%.3f ms", ms);
+  } else {
+    std::snprintf(buf, sizeof buf, "%.4f ms", ms);
+  }
+  return buf;
+}
+
+} // namespace roccc

@@ -1,0 +1,27 @@
+// Monotonic wall-clock timing for pass and bench instrumentation.
+#pragma once
+
+#include <chrono>
+#include <string>
+
+namespace roccc {
+
+/// Starts counting at construction; elapsedMs() reads without stopping.
+class WallTimer {
+ public:
+  WallTimer() : start_(Clock::now()) {}
+
+  void reset() { start_ = Clock::now(); }
+  double elapsedMs() const {
+    return std::chrono::duration<double, std::milli>(Clock::now() - start_).count();
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+/// "0.012 ms" / "12.3 ms" / "1.204 s" — compact human form for reports.
+std::string formatMs(double ms);
+
+} // namespace roccc

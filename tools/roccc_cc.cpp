@@ -8,31 +8,43 @@
 // are provided — a hardware/software cosimulation verdict.
 //
 // Options:
-//   -o FILE          output VHDL path (default: <input>.vhd)
-//   --kernel NAME    kernel function (default: last function in the file)
-//   --unroll N       partially unroll the streaming loop by N
-//   --target-ns X    pipeline stage delay target (default 4.0)
-//   --mult-style S   'lut' (default) or 'mult18'
-//   --no-infer       disable bit-width inference
-//   --no-pipeline    single combinational stage
-//   --testbench      also write <output>_tb.vhd with random vectors
-//   --cosim          run the cycle-accurate system on random inputs and
-//                    verify against the interpreter
-//   --sim-engine E   netlist engine for --cosim: 'fast' (compiled,
-//                    default) or 'ref' (boxed-Value reference)
-//   --vcd FILE       with --cosim: dump a VCD waveform of the run
-//   --verilog FILE   also write the Verilog form of the design
-//   --json FILE      export the data-path graph as JSON (Fig 1's graph
-//                    editor / annotation interface)
-//   --dump-datapath  print the data-path op listing
-//   --dump-mir       print the back-end IR
-//   --quiet          only errors
+//   -o FILE            output VHDL path (default: <input>.vhd)
+//   --kernel NAME      kernel function (default: last function in the file)
+//   --unroll N         partially unroll the streaming loop by N
+//   --target-ns X      pipeline stage delay target (default 4.0)
+//   --mult-style S     'lut' (default) or 'mult18'
+//   --no-infer         disable bit-width inference
+//   --no-pipeline      single combinational stage
+//   --testbench        also write <output>_tb.vhd with random vectors
+//   --cosim            run the cycle-accurate system on random inputs and
+//                      verify against the interpreter
+//   --sim-engine E     netlist engine for --cosim: 'fast' (compiled,
+//                      default) or 'ref' (boxed-Value reference)
+//   --vcd FILE         with --cosim: dump a VCD waveform of the run
+//   --verilog FILE     also write the Verilog form of the design
+//   --json FILE        export the data-path graph as JSON (Fig 1's graph
+//                      editor / annotation interface)
+//   --dump-datapath    print the data-path op listing
+//   --dump-mir         print the back-end IR
+//   --time-passes      print the per-pass timing/counter table
+//   --stats-json FILE  write per-pass statistics as JSON (machine-readable
+//                      pipeline report)
+//   --verify-each      run the layer verifier (MIR/RTL/VHDL) after every
+//                      pipeline pass
+//   --print-after-all  dump the IR after every pass (stderr)
+//   --print-after P    dump the IR after pass P (repeatable; also
+//                      --print-after=P)
+//   --quiet            only errors (suppresses reports and pass timing)
+//
+// Every --opt VALUE option also accepts the --opt=VALUE spelling.
 #include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <functional>
 #include <random>
 #include <sstream>
 #include <string>
+#include <vector>
 
 #include "dp/annotate.hpp"
 #include "roccc/compiler.hpp"
@@ -53,8 +65,10 @@ struct Args {
   std::string vcdPath;
   std::string verilogPath;
   std::string jsonPath;
+  std::string statsJsonPath;
   bool dumpDatapath = false;
   bool dumpMir = false;
+  bool timePasses = false;
   bool quiet = false;
 };
 
@@ -64,85 +78,127 @@ int usage(const char* argv0) {
                "          [--mult-style lut|mult18] [--no-infer] [--no-pipeline]\n"
                "          [--testbench] [--cosim] [--sim-engine ref|fast]\n"
                "          [--dump-datapath] [--dump-mir]\n"
+               "          [--time-passes] [--stats-json FILE] [--verify-each]\n"
+               "          [--print-after-all] [--print-after PASS]\n"
                "          [--quiet] kernel.c\n",
                argv0);
   return 2;
 }
 
+/// One row of the option table: flags take no value; value options accept
+/// both "--opt VALUE" and "--opt=VALUE". The handler returns false on a bad
+/// value.
+struct OptionSpec {
+  const char* name;
+  bool takesValue;
+  std::function<bool(Args&, const char*)> apply;
+};
+
+const std::vector<OptionSpec>& optionTable() {
+  using roccc::dp::BuildOptions;
+  using roccc::rtl::SimEngine;
+  static const std::vector<OptionSpec> table = {
+      {"-o", true, [](Args& a, const char* v) { a.output = v; return true; }},
+      {"--kernel", true, [](Args& a, const char* v) { a.options.kernelName = v; return true; }},
+      {"--unroll", true,
+       [](Args& a, const char* v) { a.options.unrollFactor = std::atoi(v); return true; }},
+      {"--target-ns", true,
+       [](Args& a, const char* v) {
+         a.options.dpOptions.targetStageDelayNs = std::atof(v);
+         return true;
+       }},
+      {"--mult-style", true,
+       [](Args& a, const char* v) {
+         if (std::strcmp(v, "lut") == 0) {
+           a.options.dpOptions.multStyle = BuildOptions::MultStyle::Lut;
+         } else if (std::strcmp(v, "mult18") == 0) {
+           a.options.dpOptions.multStyle = BuildOptions::MultStyle::Mult18;
+         } else {
+           return false;
+         }
+         return true;
+       }},
+      {"--no-infer", false,
+       [](Args& a, const char*) { a.options.dpOptions.inferBitWidths = false; return true; }},
+      {"--no-pipeline", false,
+       [](Args& a, const char*) { a.options.dpOptions.pipeline = false; return true; }},
+      {"--testbench", false, [](Args& a, const char*) { a.testbench = true; return true; }},
+      {"--cosim", false, [](Args& a, const char*) { a.cosim = true; return true; }},
+      {"--sim-engine", true,
+       [](Args& a, const char* v) {
+         if (std::strcmp(v, "ref") == 0 || std::strcmp(v, "reference") == 0) {
+           a.engine = SimEngine::Reference;
+         } else if (std::strcmp(v, "fast") == 0) {
+           a.engine = SimEngine::Fast;
+         } else {
+           return false;
+         }
+         return true;
+       }},
+      {"--vcd", true,
+       [](Args& a, const char* v) {
+         a.vcdPath = v;
+         a.cosim = true;
+         return true;
+       }},
+      {"--verilog", true, [](Args& a, const char* v) { a.verilogPath = v; return true; }},
+      {"--json", true, [](Args& a, const char* v) { a.jsonPath = v; return true; }},
+      {"--stats-json", true, [](Args& a, const char* v) { a.statsJsonPath = v; return true; }},
+      {"--dump-datapath", false, [](Args& a, const char*) { a.dumpDatapath = true; return true; }},
+      {"--dump-mir", false, [](Args& a, const char*) { a.dumpMir = true; return true; }},
+      {"--time-passes", false, [](Args& a, const char*) { a.timePasses = true; return true; }},
+      {"--verify-each", false,
+       [](Args& a, const char*) { a.options.pipeline.verifyEach = true; return true; }},
+      {"--print-after-all", false,
+       [](Args& a, const char*) { a.options.pipeline.printAfterAll = true; return true; }},
+      {"--print-after", true,
+       [](Args& a, const char* v) {
+         a.options.pipeline.printAfter.emplace_back(v);
+         return true;
+       }},
+      {"--quiet", false, [](Args& a, const char*) { a.quiet = true; return true; }},
+  };
+  return table;
+}
+
 bool parseArgs(int argc, char** argv, Args& a) {
   for (int i = 1; i < argc; ++i) {
-    const std::string arg = argv[i];
-    auto next = [&]() -> const char* { return i + 1 < argc ? argv[++i] : nullptr; };
-    if (arg == "-o") {
-      const char* v = next();
-      if (!v) return false;
-      a.output = v;
-    } else if (arg == "--kernel") {
-      const char* v = next();
-      if (!v) return false;
-      a.options.kernelName = v;
-    } else if (arg == "--unroll") {
-      const char* v = next();
-      if (!v) return false;
-      a.options.unrollFactor = std::atoi(v);
-    } else if (arg == "--target-ns") {
-      const char* v = next();
-      if (!v) return false;
-      a.options.dpOptions.targetStageDelayNs = std::atof(v);
-    } else if (arg == "--mult-style") {
-      const char* v = next();
-      if (!v) return false;
-      if (std::strcmp(v, "lut") == 0) {
-        a.options.dpOptions.multStyle = roccc::dp::BuildOptions::MultStyle::Lut;
-      } else if (std::strcmp(v, "mult18") == 0) {
-        a.options.dpOptions.multStyle = roccc::dp::BuildOptions::MultStyle::Mult18;
-      } else {
-        return false;
-      }
-    } else if (arg == "--no-infer") {
-      a.options.dpOptions.inferBitWidths = false;
-    } else if (arg == "--no-pipeline") {
-      a.options.dpOptions.pipeline = false;
-    } else if (arg == "--testbench") {
-      a.testbench = true;
-    } else if (arg == "--cosim") {
-      a.cosim = true;
-    } else if (arg == "--sim-engine") {
-      const char* v = next();
-      if (!v) return false;
-      if (std::strcmp(v, "ref") == 0 || std::strcmp(v, "reference") == 0) {
-        a.engine = roccc::rtl::SimEngine::Reference;
-      } else if (std::strcmp(v, "fast") == 0) {
-        a.engine = roccc::rtl::SimEngine::Fast;
-      } else {
-        return false;
-      }
-    } else if (arg == "--vcd") {
-      const char* v = next();
-      if (!v) return false;
-      a.vcdPath = v;
-      a.cosim = true;
-    } else if (arg == "--verilog") {
-      const char* v = next();
-      if (!v) return false;
-      a.verilogPath = v;
-    } else if (arg == "--json") {
-      const char* v = next();
-      if (!v) return false;
-      a.jsonPath = v;
-    } else if (arg == "--dump-datapath") {
-      a.dumpDatapath = true;
-    } else if (arg == "--dump-mir") {
-      a.dumpMir = true;
-    } else if (arg == "--quiet") {
-      a.quiet = true;
-    } else if (!arg.empty() && arg[0] == '-') {
-      return false;
-    } else if (a.input.empty()) {
+    std::string arg = argv[i];
+    if (arg.empty() || arg[0] != '-') {
+      if (!a.input.empty()) return false;
       a.input = arg;
-    } else {
+      continue;
+    }
+    // Split the "--opt=value" spelling.
+    std::string inlineValue;
+    bool hasInlineValue = false;
+    const size_t eq = arg.find('=');
+    if (eq != std::string::npos && arg.rfind("--", 0) == 0) {
+      inlineValue = arg.substr(eq + 1);
+      arg.resize(eq);
+      hasInlineValue = true;
+    }
+    const OptionSpec* spec = nullptr;
+    for (const auto& s : optionTable()) {
+      if (arg == s.name) {
+        spec = &s;
+        break;
+      }
+    }
+    if (!spec) return false;
+    const char* value = nullptr;
+    if (spec->takesValue) {
+      if (hasInlineValue) {
+        value = inlineValue.c_str();
+      } else if (i + 1 < argc) {
+        value = argv[++i];
+      } else {
+        return false;
+      }
+    } else if (hasInlineValue) {
       return false;
     }
+    if (!spec->apply(a, value)) return false;
   }
   return !a.input.empty();
 }
@@ -183,6 +239,23 @@ int main(int argc, char** argv) {
 
   roccc::Compiler compiler(a.options);
   const roccc::CompileResult r = compiler.compileSource(source);
+
+  // Requested IR snapshots, also for failed compiles (the snapshot before
+  // the failing pass is often the point).
+  for (const auto& p : r.passLog) {
+    if (p.snapshot.empty()) continue;
+    std::fprintf(stderr, "*** IR after pass '%s' (%s) ***\n%s\n", p.name.c_str(),
+                 roccc::passLayerName(p.layer), p.snapshot.c_str());
+  }
+  if (!a.statsJsonPath.empty()) {
+    std::ofstream sout(a.statsJsonPath);
+    if (!sout) {
+      std::fprintf(stderr, "error: cannot write '%s'\n", a.statsJsonPath.c_str());
+      return 1;
+    }
+    sout << roccc::statsToJson(r.passLog);
+    if (!a.quiet) std::printf("wrote %s\n", a.statsJsonPath.c_str());
+  }
   if (!r.ok) {
     std::fprintf(stderr, "%s", r.diags.dump().c_str());
     return 1;
@@ -192,6 +265,7 @@ int main(int argc, char** argv) {
       std::fprintf(stderr, "%s\n", d.str().c_str());
     }
   }
+  if (a.timePasses && !a.quiet) std::printf("%s", roccc::statsToTable(r.passLog).c_str());
 
   if (a.output.empty()) {
     a.output = a.input;
