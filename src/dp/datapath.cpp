@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cstdlib>
 #include <cmath>
 #include <functional>
 #include <map>
@@ -221,9 +222,11 @@ class Builder {
     for (auto& fb : out_.feedbacks) {
       if (fb.name == name) return fb;
     }
+    // No shared fallback object: a function-local static here would be the
+    // one mutable global in the whole pipeline (concurrent compiles could
+    // alias it). An unknown feedback is a compiler invariant violation.
     assert(false && "unknown feedback");
-    static DataPath::Feedback dummy;
-    return dummy;
+    std::abort();
   }
 
   /// The branch structure of a join block: selector value + which pred is
