@@ -9,6 +9,7 @@
 #include "hlir/transforms.hpp"
 #include "kernels.hpp"
 #include "roccc/compiler.hpp"
+#include "roccc/driver.hpp"
 #include "synth/estimate.hpp"
 
 namespace {
@@ -46,6 +47,37 @@ void BM_CompileWavelet2D(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_CompileWavelet2D);
+
+/// The nine Table 1 workloads as one CompileService batch, with the
+/// per-kernel options of bench_table1's rows (bench::kTable1Kernels).
+std::vector<CompileJob> table1Batch() {
+  std::vector<CompileJob> jobs;
+  for (const auto& k : bench::kTable1Kernels) {
+    CompileOptions o;
+    if (k.targetStageDelayNs > 0) o.dpOptions.targetStageDelayNs = k.targetStageDelayNs;
+    jobs.push_back({k.name, k.source, o});
+  }
+  return jobs;
+}
+
+/// Batch compilation throughput: the Table 1 sweep fanned out across a
+/// worker pool. state.range(0) = worker count; the kernels/s counter is
+/// the aggregate figure the batch driver reports. Past the machine's core
+/// count extra workers only measure scheduling overhead.
+void BM_CompileBatchTable1(benchmark::State& state) {
+  const auto jobs = table1Batch();
+  const CompileService service(static_cast<int>(state.range(0)));
+  int64_t kernels = 0;
+  for (auto _ : state) {
+    BatchResult batch = service.compileBatch(jobs);
+    if (!batch.allOk()) state.SkipWithError("batch compile failed");
+    kernels += static_cast<int64_t>(batch.results.size());
+    benchmark::DoNotOptimize(batch);
+  }
+  state.counters["kernels/s"] =
+      benchmark::Counter(static_cast<double>(kernels), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_CompileBatchTable1)->Arg(1)->Arg(2)->Arg(4)->Arg(8)->UseRealTime();
 
 /// The ref [13] claim: compile-time area estimation in well under 1 ms.
 void BM_AreaEstimation(benchmark::State& state) {

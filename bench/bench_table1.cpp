@@ -16,6 +16,7 @@
 #include "ip/ip.hpp"
 #include "kernels.hpp"
 #include "roccc/compiler.hpp"
+#include "roccc/driver.hpp"
 #include "synth/estimate.hpp"
 
 namespace {
@@ -296,6 +297,53 @@ int main() {
     std::printf("  %-15s | %10.3f | %10.3f | %7.1fx | %s\n", ec.name, refMs, fastMs,
                 refMs / fastMs, same ? "MATCH" : "MISMATCH");
     if (!same) return 1;
+  }
+
+  // --- batch compilation throughput --------------------------------------------
+  // The whole nine-kernel sweep as one CompileService batch, fanned out
+  // across a worker pool (per-kernel options as in the rows above).
+  // Determinism cross-check: the VHDL bytes per kernel must be identical at
+  // every worker count — completion order is unobservable by construction.
+  {
+    std::vector<CompileJob> jobs;
+    for (const auto& k : bench::kTable1Kernels) {
+      CompileOptions o;
+      if (k.targetStageDelayNs > 0) o.dpOptions.targetStageDelayNs = k.targetStageDelayNs;
+      jobs.push_back({k.name, k.source, o});
+    }
+    const int kBatchReps = 3;
+    std::printf("\nBatch compilation throughput (CompileService, nine Table 1 kernels, "
+                "best of %d):\n\n", kBatchReps);
+    std::printf("  %-8s | %10s | %12s | %s\n", "workers", "batch ms", "kernels/s", "determinism");
+    std::printf("  ---------+------------+--------------+------------\n");
+    std::vector<std::string> baselineVhdl;
+    for (const int workers : {1, 2, 4, 8}) {
+      const CompileService service(workers);
+      double bestMs = 0;
+      double bestRate = 0;
+      bool deterministic = true;
+      for (int rep = 0; rep < kBatchReps; ++rep) {
+        const BatchResult batch = service.compileBatch(jobs);
+        if (!batch.allOk()) {
+          std::fprintf(stderr, "batch compile failed at %d workers\n", workers);
+          return 1;
+        }
+        if (bestMs == 0 || batch.wallMs < bestMs) {
+          bestMs = batch.wallMs;
+          bestRate = batch.kernelsPerSecond();
+        }
+        if (baselineVhdl.empty()) {
+          for (const auto& r : batch.results) baselineVhdl.push_back(r.vhdl);
+        } else {
+          for (size_t i = 0; i < batch.results.size(); ++i) {
+            deterministic = deterministic && batch.results[i].vhdl == baselineVhdl[i];
+          }
+        }
+      }
+      std::printf("  %8d | %10.1f | %12.1f | %s\n", workers, bestMs, bestRate,
+                  deterministic ? "byte-identical" : "MISMATCH");
+      if (!deterministic) return 1;
+    }
   }
   return 0;
 }

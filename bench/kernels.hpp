@@ -167,4 +167,26 @@ void wavelet(const int16 X[68][66], int16 S[64][64], int16 D[64][64]) {
 }
 )";
 
+/// The nine Table 1 workloads with their bench_table1 compile options
+/// (stage-delay targets for the udiv/dct/wavelet rows; 0 = default). This
+/// is the canonical list for batch benches, the golden-snapshot tests and
+/// the determinism tests — one row per kernel, in table order.
+struct NamedKernel {
+  const char* name;
+  const char* source;
+  double targetStageDelayNs; ///< 0 = BuildOptions default
+};
+
+inline constexpr NamedKernel kTable1Kernels[] = {
+    {"bit_correlator", kBitCorrelator, 0},
+    {"mul_acc", kMulAcc, 0},
+    {"mul_acc_predicated", kMulAccPredicated, 0},
+    {"udiv", kUdiv, 3.0},
+    {"square_root", kSquareRoot, 0},
+    {"cos", kCos, 0},
+    {"fir", kFir, 0},
+    {"dct", kDct, 7.5},
+    {"wavelet", kWavelet, 9.0},
+};
+
 } // namespace roccc::bench

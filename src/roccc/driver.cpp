@@ -1,0 +1,65 @@
+#include "roccc/driver.hpp"
+
+#include <algorithm>
+#include <future>
+#include <thread>
+
+#include "support/threadpool.hpp"
+#include "support/timer.hpp"
+
+namespace roccc {
+
+int BatchResult::succeeded() const {
+  int n = 0;
+  for (const auto& r : results) {
+    if (r.ok) ++n;
+  }
+  return n;
+}
+
+double BatchResult::kernelsPerSecond() const {
+  if (wallMs <= 0) return 0;
+  return static_cast<double>(results.size()) * 1000.0 / wallMs;
+}
+
+CompileService::CompileService(int workers) : workers_(workers) {
+  if (workers_ <= 0) {
+    workers_ = std::max(1u, std::thread::hardware_concurrency());
+  }
+}
+
+BatchResult CompileService::compileBatch(const std::vector<CompileJob>& jobs) const {
+  BatchResult batch;
+  batch.workers = workers_;
+  batch.results.resize(jobs.size());
+  WallTimer timer;
+
+  // Each worker writes only its own pre-allocated slot; each job gets a
+  // fresh Compiler and reports into the DiagEngine inside its own result.
+  // Job order == result order by construction, so completion order (which
+  // does vary with scheduling) is unobservable.
+  auto runJob = [&jobs, &batch](size_t i) {
+    const Compiler compiler(jobs[i].options);
+    batch.results[i] = compiler.compileSource(jobs[i].source);
+  };
+
+  if (workers_ == 1) {
+    // Serial reference path: no pool, caller's thread. jobs=1 vs jobs=N
+    // byte-equality in the determinism tests compares exactly this path
+    // against the pooled one.
+    for (size_t i = 0; i < jobs.size(); ++i) runJob(i);
+  } else {
+    ThreadPool pool(static_cast<size_t>(workers_));
+    std::vector<std::future<void>> pending;
+    pending.reserve(jobs.size());
+    for (size_t i = 0; i < jobs.size(); ++i) {
+      pending.push_back(pool.submit([&runJob, i] { runJob(i); }));
+    }
+    for (auto& f : pending) f.get(); // propagate any job exception
+  }
+
+  batch.wallMs = timer.elapsedMs();
+  return batch;
+}
+
+} // namespace roccc

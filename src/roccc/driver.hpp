@@ -1,0 +1,68 @@
+// roccc::CompileService — thread-pooled batch compilation with a
+// determinism guarantee.
+//
+// A batch is N independent {name, source, CompileOptions} jobs. The service
+// fans them out across a fixed-size ThreadPool and returns one CompileResult
+// per job, **in job order**, regardless of worker count or completion order.
+//
+// Determinism guarantee (locked down by tests/driver_test.cpp, the golden
+// snapshots in tests/golden/, and the TSan stress suite): for any job list,
+// the emitted VHDL/Verilog bytes, the PassStatistics change counters, and
+// the per-job diagnostics sequence are byte-identical whether the batch runs
+// on 1 worker or 64. This holds because compileBatch shares no mutable state
+// between jobs:
+//   - each job runs a fresh roccc::Compiler over its own copy of the options;
+//   - each job's diagnostics go to the DiagEngine embedded in its own
+//     CompileResult slot — there is no global diagnostics sink;
+//   - workers write only their own pre-allocated result slot;
+//   - the compile pipeline itself is reentrant (the audit in DESIGN.md §8:
+//     no layer from frontend to synth holds a hidden global or shared cache).
+// Only PassStatistics::wallMs is exempt — wall time is measurement, not
+// output.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "roccc/compiler.hpp"
+
+namespace roccc {
+
+/// One unit of work for compileBatch.
+struct CompileJob {
+  /// Label used in reports ("fir.c", a manifest line, a fuzz-seed tag...);
+  /// never interpreted by the service.
+  std::string name;
+  /// C source text to compile.
+  std::string source;
+  CompileOptions options;
+};
+
+/// compileBatch output: results[i] belongs to jobs[i], always.
+struct BatchResult {
+  std::vector<CompileResult> results;
+  double wallMs = 0;  ///< wall time of the whole batch
+  int workers = 1;    ///< worker count the batch ran on
+
+  int succeeded() const;
+  bool allOk() const { return succeeded() == static_cast<int>(results.size()); }
+  /// Aggregate throughput: jobs completed per second of batch wall time.
+  double kernelsPerSecond() const;
+};
+
+class CompileService {
+ public:
+  /// `workers` == 0 picks the hardware concurrency (min 1).
+  explicit CompileService(int workers = 0);
+
+  /// Compiles every job and returns per-job results in job order. Safe to
+  /// call from multiple threads; batches share the pool but never results.
+  BatchResult compileBatch(const std::vector<CompileJob>& jobs) const;
+
+  int workers() const { return workers_; }
+
+ private:
+  int workers_;
+};
+
+} // namespace roccc

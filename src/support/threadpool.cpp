@@ -1,0 +1,65 @@
+#include "support/threadpool.hpp"
+
+#include <algorithm>
+
+namespace roccc {
+
+ThreadPool::ThreadPool(size_t workers, size_t maxQueued)
+    : maxQueued_(std::max<size_t>(1, maxQueued)) {
+  if (workers == 0) workers = std::max(1u, std::thread::hardware_concurrency());
+  threads_.reserve(workers);
+  for (size_t i = 0; i < workers; ++i) {
+    threads_.emplace_back([this] { workerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stopping_ = true;
+  }
+  jobReady_.notify_all();
+  queueSpace_.notify_all();
+  for (auto& t : threads_) t.join();
+}
+
+std::future<void> ThreadPool::submit(std::function<void()> job) {
+  std::packaged_task<void()> task(std::move(job));
+  std::future<void> fut = task.get_future();
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    queueSpace_.wait(lock, [this] { return queue_.size() < maxQueued_ || stopping_; });
+    if (stopping_) return {}; // pool shut down under the producer; invalid future
+    queue_.push_back(std::move(task));
+  }
+  jobReady_.notify_one();
+  return fut;
+}
+
+void ThreadPool::waitIdle() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  idle_.wait(lock, [this] { return queue_.empty() && running_ == 0; });
+}
+
+void ThreadPool::workerLoop() {
+  for (;;) {
+    std::packaged_task<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      jobReady_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (stopping_ && queue_.empty()) return;
+      task = std::move(queue_.front());
+      queue_.pop_front();
+      ++running_;
+    }
+    queueSpace_.notify_one();
+    task(); // exceptions land in the task's future
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      --running_;
+      if (queue_.empty() && running_ == 0) idle_.notify_all();
+    }
+  }
+}
+
+} // namespace roccc

@@ -1,0 +1,58 @@
+// Fixed-size worker thread pool with a bounded job queue.
+//
+// The pool that backs roccc::CompileService: N workers drain a FIFO of
+// type-erased jobs; submit() blocks once `maxQueued` jobs are waiting
+// (back-pressure, so a producer enqueueing thousands of compiles cannot
+// balloon memory), and returns a std::future for the job's completion.
+// Jobs must not submit to the pool they run on (the bounded queue could
+// deadlock); the batch driver fans out from the caller's thread only.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace roccc {
+
+class ThreadPool {
+ public:
+  /// `workers` == 0 picks std::thread::hardware_concurrency() (min 1).
+  /// `maxQueued` bounds the number of not-yet-started jobs; submit()
+  /// blocks when the queue is full.
+  explicit ThreadPool(size_t workers = 0, size_t maxQueued = 1024);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues `job`; blocks while the queue holds `maxQueued` pending
+  /// jobs. The future resolves when the job finishes (exceptions from the
+  /// job propagate through the future).
+  std::future<void> submit(std::function<void()> job);
+
+  /// Blocks until every job submitted so far has finished.
+  void waitIdle();
+
+  size_t workerCount() const { return threads_.size(); }
+  size_t maxQueued() const { return maxQueued_; }
+
+ private:
+  void workerLoop();
+
+  const size_t maxQueued_;
+  std::mutex mutex_;
+  std::condition_variable jobReady_;   ///< signals workers: queue non-empty or stopping
+  std::condition_variable queueSpace_; ///< signals producers: queue below the bound
+  std::condition_variable idle_;       ///< signals waitIdle: no queued or running jobs
+  std::deque<std::packaged_task<void()>> queue_;
+  size_t running_ = 0; ///< jobs currently executing on a worker
+  bool stopping_ = false;
+  std::vector<std::thread> threads_;
+};
+
+} // namespace roccc

@@ -1,11 +1,18 @@
 // roccc-cc — the command-line driver.
 //
-//   roccc-cc [options] kernel.c
+//   roccc-cc [options] kernel.c [kernel2.c ...]
 //
 // Compiles the kernel to RTL VHDL, writes <kernel>.vhd (and optionally a
 // self-checking testbench), and prints the compilation report: data-path
 // structure, synthesis estimate (area / clock / power), and — when inputs
 // are provided — a hardware/software cosimulation verdict.
+//
+// With more than one input file (listed on the command line and/or via
+// --manifest), roccc-cc switches to batch mode: the files are compiled
+// concurrently on a --jobs N worker pool (roccc::CompileService), each
+// writing its own <input>.vhd. Batch output is deterministic — the VHDL
+// bytes, pass counters and diagnostics per file are identical for any
+// worker count.
 //
 // Options:
 //   -o FILE            output VHDL path (default: <input>.vhd)
@@ -34,6 +41,10 @@
 //   --print-after-all  dump the IR after every pass (stderr)
 //   --print-after P    dump the IR after pass P (repeatable; also
 //                      --print-after=P)
+//   --jobs N           batch mode: compile inputs on N worker threads
+//                      (0 = one per hardware thread)
+//   --manifest FILE    read additional input paths from FILE (one per
+//                      line; blank lines and #-comments skipped)
 //   --quiet            only errors (suppresses reports and pass timing)
 //
 // Every --opt VALUE option also accepts the --opt=VALUE spelling.
@@ -48,6 +59,7 @@
 
 #include "dp/annotate.hpp"
 #include "roccc/compiler.hpp"
+#include "roccc/driver.hpp"
 #include "synth/estimate.hpp"
 #include "vhdl/check.hpp"
 #include "vhdl/testbench.hpp"
@@ -56,7 +68,9 @@
 namespace {
 
 struct Args {
-  std::string input;
+  std::vector<std::string> inputs;
+  std::string manifestPath;
+  int jobs = 1;
   std::string output;
   roccc::CompileOptions options;
   bool testbench = false;
@@ -80,7 +94,8 @@ int usage(const char* argv0) {
                "          [--dump-datapath] [--dump-mir]\n"
                "          [--time-passes] [--stats-json FILE] [--verify-each]\n"
                "          [--print-after-all] [--print-after PASS]\n"
-               "          [--quiet] kernel.c\n",
+               "          [--jobs N] [--manifest FILE]\n"
+               "          [--quiet] kernel.c [kernel2.c ...]\n",
                argv0);
   return 2;
 }
@@ -156,6 +171,13 @@ const std::vector<OptionSpec>& optionTable() {
          a.options.pipeline.printAfter.emplace_back(v);
          return true;
        }},
+      {"--jobs", true,
+       [](Args& a, const char* v) {
+         char* end = nullptr;
+         a.jobs = static_cast<int>(std::strtol(v, &end, 10));
+         return end != v && *end == '\0' && a.jobs >= 0;
+       }},
+      {"--manifest", true, [](Args& a, const char* v) { a.manifestPath = v; return true; }},
       {"--quiet", false, [](Args& a, const char*) { a.quiet = true; return true; }},
   };
   return table;
@@ -165,8 +187,7 @@ bool parseArgs(int argc, char** argv, Args& a) {
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
     if (arg.empty() || arg[0] != '-') {
-      if (!a.input.empty()) return false;
-      a.input = arg;
+      a.inputs.push_back(arg);
       continue;
     }
     // Split the "--opt=value" spelling.
@@ -200,7 +221,88 @@ bool parseArgs(int argc, char** argv, Args& a) {
     }
     if (!spec->apply(a, value)) return false;
   }
-  return !a.input.empty();
+  return !a.inputs.empty() || !a.manifestPath.empty();
+}
+
+/// Appends the manifest's input paths (one per line, blank lines and
+/// #-comment lines skipped) to `inputs`.
+bool readManifest(const std::string& path, std::vector<std::string>& inputs) {
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "error: cannot open manifest '%s'\n", path.c_str());
+    return false;
+  }
+  std::string line;
+  while (std::getline(in, line)) {
+    const size_t begin = line.find_first_not_of(" \t\r");
+    if (begin == std::string::npos) continue;
+    const size_t end = line.find_last_not_of(" \t\r");
+    line = line.substr(begin, end - begin + 1);
+    if (line.empty() || line[0] == '#') continue;
+    inputs.push_back(line);
+  }
+  return true;
+}
+
+/// <input>.c -> <input>.vhd (extension replaced, or appended when none).
+std::string defaultOutputPath(const std::string& input) {
+  std::string out = input;
+  const size_t dot = out.rfind('.');
+  const size_t slash = out.find_last_of('/');
+  if (dot != std::string::npos && (slash == std::string::npos || dot > slash)) out.resize(dot);
+  return out + ".vhd";
+}
+
+/// Batch mode: compile every input on a CompileService pool, write one
+/// .vhd per input, print per-file status plus the aggregate throughput.
+int runBatch(const Args& a) {
+  std::vector<roccc::CompileJob> jobs;
+  for (const std::string& path : a.inputs) {
+    std::ifstream in(path);
+    if (!in) {
+      std::fprintf(stderr, "error: cannot open '%s'\n", path.c_str());
+      return 1;
+    }
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    jobs.push_back({path, buf.str(), a.options});
+  }
+
+  const roccc::CompileService service(a.jobs);
+  const roccc::BatchResult batch = service.compileBatch(jobs);
+
+  int failures = 0;
+  for (size_t i = 0; i < jobs.size(); ++i) {
+    const roccc::CompileResult& r = batch.results[i];
+    if (!r.ok) {
+      ++failures;
+      std::fprintf(stderr, "%s: compile failed\n%s", jobs[i].name.c_str(), r.diags.dump().c_str());
+      continue;
+    }
+    const auto chk = roccc::vhdl::checkDesign(r.vhdl);
+    if (!chk.ok) {
+      ++failures;
+      std::fprintf(stderr, "%s: internal: emitted VHDL failed validation\n", jobs[i].name.c_str());
+      continue;
+    }
+    const std::string outPath = defaultOutputPath(jobs[i].name);
+    std::ofstream out(outPath);
+    if (!out) {
+      std::fprintf(stderr, "error: cannot write '%s'\n", outPath.c_str());
+      return 1;
+    }
+    out << r.vhdl;
+    if (!a.quiet) {
+      std::printf("%-32s -> %s (%d entities, %zu bytes)\n", jobs[i].name.c_str(), outPath.c_str(),
+                  chk.entityCount, r.vhdl.size());
+    }
+  }
+  if (!a.quiet) {
+    std::printf("batch: %d/%zu kernels ok on %d worker(s), %.1f ms total, %.1f kernels/s\n",
+                batch.succeeded(), jobs.size(), batch.workers, batch.wallMs,
+                batch.kernelsPerSecond());
+  }
+  return failures == 0 ? 0 : 1;
 }
 
 /// Random inputs covering the kernel's arrays and scalars.
@@ -227,10 +329,22 @@ roccc::interp::KernelIO randomInputs(const roccc::hlir::KernelInfo& k, uint64_t 
 int main(int argc, char** argv) {
   Args a;
   if (!parseArgs(argc, argv, a)) return usage(argv[0]);
+  if (!a.manifestPath.empty() && !readManifest(a.manifestPath, a.inputs)) return 1;
+  if (a.inputs.empty()) return usage(argv[0]);
 
-  std::ifstream in(a.input);
+  if (a.inputs.size() > 1) {
+    if (!a.output.empty()) {
+      std::fprintf(stderr, "error: -o is incompatible with multiple inputs "
+                           "(each writes its own <input>.vhd)\n");
+      return 2;
+    }
+    return runBatch(a);
+  }
+
+  const std::string& input = a.inputs.front();
+  std::ifstream in(input);
   if (!in) {
-    std::fprintf(stderr, "error: cannot open '%s'\n", a.input.c_str());
+    std::fprintf(stderr, "error: cannot open '%s'\n", input.c_str());
     return 1;
   }
   std::ostringstream buf;
@@ -267,12 +381,7 @@ int main(int argc, char** argv) {
   }
   if (a.timePasses && !a.quiet) std::printf("%s", roccc::statsToTable(r.passLog).c_str());
 
-  if (a.output.empty()) {
-    a.output = a.input;
-    const size_t dot = a.output.rfind('.');
-    if (dot != std::string::npos) a.output.resize(dot);
-    a.output += ".vhd";
-  }
+  if (a.output.empty()) a.output = defaultOutputPath(input);
   {
     std::ofstream out(a.output);
     if (!out) {
