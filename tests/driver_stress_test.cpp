@@ -1,0 +1,113 @@
+// Thread-stress suite for the batch compilation driver: the fuzz-kernel
+// generator (kernel_fuzzer.hpp, the same one fuzz_test.cpp drives) feeds
+// CompileService with 8 workers and many distinct seeds, and every parallel
+// result is compared byte-for-byte against a serial reference compile of
+// the same seed. This is the workload the TSan preset (build-tsan) runs
+// under ThreadSanitizer.
+//
+// Seed count: ROCCC_STRESS_SEEDS in the environment overrides the default
+// (16). The `nightly`-labelled ctest entry (driver_stress_nightly, see
+// tests/CMakeLists.txt) runs the heavy configuration — 8 workers x 64
+// seeds — via that variable:
+//
+//   ctest -L nightly                      # the heavy sweep
+//   ROCCC_STRESS_SEEDS=256 ./driver_stress_test   # heavier still, by hand
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "kernel_fuzzer.hpp"
+#include "roccc/compiler.hpp"
+#include "roccc/driver.hpp"
+
+namespace roccc {
+namespace {
+
+constexpr int kDefaultSeeds = 16;
+constexpr int kWorkers = 8;
+
+int seedCount() {
+  if (const char* env = std::getenv("ROCCC_STRESS_SEEDS")) {
+    const int n = std::atoi(env);
+    if (n > 0) return n;
+  }
+  return kDefaultSeeds;
+}
+
+/// One fuzz kernel per seed; generation is deterministic per seed.
+std::vector<CompileJob> fuzzBatch(int seeds, uint64_t salt) {
+  std::vector<CompileJob> jobs;
+  jobs.reserve(seeds);
+  for (int s = 0; s < seeds; ++s) {
+    KernelFuzzer fuzzer(salt + static_cast<uint64_t>(s));
+    CompileJob job;
+    job.name = "seed-" + std::to_string(salt + static_cast<uint64_t>(s));
+    job.source = fuzzer.generate().source;
+    jobs.push_back(std::move(job));
+  }
+  return jobs;
+}
+
+TEST(DriverStress, FuzzBatchOnEightWorkersMatchesSerialReference) {
+  const int seeds = seedCount();
+  const std::vector<CompileJob> jobs = fuzzBatch(seeds, 0xace0fba5e);
+
+  const BatchResult parallel = CompileService(kWorkers).compileBatch(jobs);
+  const BatchResult serial = CompileService(1).compileBatch(jobs);
+  ASSERT_EQ(parallel.results.size(), jobs.size());
+
+  int compiled = 0;
+  for (size_t i = 0; i < jobs.size(); ++i) {
+    const CompileResult& p = parallel.results[i];
+    const CompileResult& s = serial.results[i];
+    ASSERT_EQ(p.ok, s.ok) << jobs[i].name << "\n" << jobs[i].source;
+    ASSERT_TRUE(p.ok) << jobs[i].name << "\n" << jobs[i].source << "\n" << p.diags.dump();
+    ASSERT_EQ(p.vhdl, s.vhdl) << jobs[i].name << "\n" << jobs[i].source;
+    ASSERT_EQ(p.verilog, s.verilog) << jobs[i].name;
+    ++compiled;
+  }
+  EXPECT_EQ(compiled, seeds);
+}
+
+TEST(DriverStress, RepeatedParallelSweepsAreStable) {
+  // Re-running the same parallel batch must reproduce itself exactly —
+  // catches state leaking *between* batches (warm caches, counters).
+  const int seeds = std::min(seedCount(), 32);
+  const std::vector<CompileJob> jobs = fuzzBatch(seeds, 0xbeefcafe);
+  const CompileService service(kWorkers);
+  const BatchResult first = service.compileBatch(jobs);
+  const BatchResult second = service.compileBatch(jobs);
+  for (size_t i = 0; i < jobs.size(); ++i) {
+    ASSERT_EQ(first.results[i].ok, second.results[i].ok) << jobs[i].name;
+    ASSERT_EQ(first.results[i].vhdl, second.results[i].vhdl) << jobs[i].name;
+  }
+}
+
+TEST(DriverStress, MixedOptionsUnderContention) {
+  // The option matrix the benches sweep, all in flight at once: unroll
+  // factors and pipelining targets change per job while jobs race on the
+  // pool. Each job still must match its own serial compile.
+  std::vector<CompileJob> jobs;
+  const int seeds = std::min(seedCount(), 24);
+  for (int s = 0; s < seeds; ++s) {
+    KernelFuzzer fuzzer(0x5eed5a17ull + static_cast<uint64_t>(s));
+    CompileJob job;
+    job.name = "mixed-" + std::to_string(s);
+    job.source = fuzzer.generate().source;
+    if (s % 3 == 1) job.options.unrollFactor = 2;
+    if (s % 3 == 2) job.options.dpOptions.targetStageDelayNs = 1.5;
+    if (s % 2 == 1) job.options.optimize = false;
+    jobs.push_back(std::move(job));
+  }
+  const BatchResult parallel = CompileService(kWorkers).compileBatch(jobs);
+  const BatchResult serial = CompileService(1).compileBatch(jobs);
+  for (size_t i = 0; i < jobs.size(); ++i) {
+    ASSERT_EQ(parallel.results[i].ok, serial.results[i].ok) << jobs[i].source;
+    ASSERT_EQ(parallel.results[i].vhdl, serial.results[i].vhdl) << jobs[i].source;
+  }
+}
+
+} // namespace
+} // namespace roccc
