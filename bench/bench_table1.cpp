@@ -10,6 +10,7 @@
 // (paper section 5: "they have exactly the same performance").
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <random>
 #include <string>
 
@@ -344,6 +345,62 @@ int main() {
                   deterministic ? "byte-identical" : "MISMATCH");
       if (!deterministic) return 1;
     }
+  }
+
+  // --- budget-checkpoint overhead ----------------------------------------------
+  // The cost of per-job governance (PR 4): the same nine kernels compiled
+  // with no CompileBudget limits vs an armed-but-never-triggered budget
+  // (generous deadline + IR-node + unroll-product caps, which turns on the
+  // deadline clock reads and the pass-boundary IR walks). The whole-sweep
+  // overhead is what EXPERIMENTS.md records as <1%.
+  {
+    const int kGovReps = 5;
+    std::printf("\nBudget-checkpoint overhead (nine-kernel sweep, best of %d):\n\n", kGovReps);
+    std::printf("  %-15s | %12s | %12s | %s\n", "kernel", "disarmed ms", "governed ms",
+                "overhead");
+    std::printf("  ----------------+--------------+--------------+---------\n");
+    auto sweepMs = [&](const CompileOptions& base, bool governed, const char* only) {
+      double total = 0;
+      for (const auto& k : bench::kTable1Kernels) {
+        if (only && std::string(only) != k.name) continue;
+        CompileOptions o = base;
+        if (k.targetStageDelayNs > 0) o.dpOptions.targetStageDelayNs = k.targetStageDelayNs;
+        if (governed) {
+          o.budget.timeoutMs = 600'000;
+          o.budget.maxIrNodes = 50'000'000;
+          o.budget.maxUnrollProduct = 1'000'000'000;
+        }
+        const auto t0 = std::chrono::steady_clock::now();
+        const Compiler c(o);
+        const CompileResult r = c.compileSource(k.source);
+        const auto t1 = std::chrono::steady_clock::now();
+        if (!r.ok) {
+          std::fprintf(stderr, "%s: governed compile failed\n", k.name);
+          std::exit(1);
+        }
+        total += std::chrono::duration<double, std::milli>(t1 - t0).count();
+      }
+      return total;
+    };
+    double sweepPlain = 0;
+    double sweepGoverned = 0;
+    for (const auto& k : bench::kTable1Kernels) {
+      double plain = 0;
+      double governed = 0;
+      for (int rep = 0; rep < kGovReps; ++rep) {
+        const double p = sweepMs({}, false, k.name);
+        const double g = sweepMs({}, true, k.name);
+        if (plain == 0 || p < plain) plain = p;
+        if (governed == 0 || g < governed) governed = g;
+      }
+      sweepPlain += plain;
+      sweepGoverned += governed;
+      std::printf("  %-15s | %12.3f | %12.3f | %+7.2f%%\n", k.name, plain, governed,
+                  (governed - plain) * 100.0 / plain);
+    }
+    std::printf("  ----------------+--------------+--------------+---------\n");
+    std::printf("  %-15s | %12.3f | %12.3f | %+7.2f%%\n", "sweep total", sweepPlain,
+                sweepGoverned, (sweepGoverned - sweepPlain) * 100.0 / sweepPlain);
   }
   return 0;
 }

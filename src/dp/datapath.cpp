@@ -9,6 +9,7 @@
 #include <set>
 #include <sstream>
 
+#include "support/faultpoint.hpp"
 #include "support/strings.hpp"
 
 namespace roccc::dp {
@@ -224,9 +225,10 @@ class Builder {
     }
     // No shared fallback object: a function-local static here would be the
     // one mutable global in the whole pipeline (concurrent compiles could
-    // alias it). An unknown feedback is a compiler invariant violation.
-    assert(false && "unknown feedback");
-    std::abort();
+    // alias it). An unknown feedback is a compiler invariant violation —
+    // thrown, not abort()ed, so the containment boundary classifies it as
+    // InternalError instead of killing every sibling job in the batch.
+    throw InternalCompilerError(fmt("datapath: unknown feedback '%0'", name));
   }
 
   /// The branch structure of a join block: selector value + which pred is
@@ -873,7 +875,11 @@ class Builder {
         if (--indeg[static_cast<size_t>(c)] == 0) ready.push_back(c);
       }
     }
-    assert(order.size() == out_.ops.size() && "datapath op graph has a cycle");
+    if (order.size() != out_.ops.size()) {
+      throw InternalCompilerError(
+          fmt("datapath: op graph has a combinational cycle (%0 of %1 ops schedulable)",
+              order.size(), out_.ops.size()));
+    }
     return order;
   }
 
@@ -1096,6 +1102,7 @@ class Builder {
 
 bool buildDataPath(const mir::FunctionIR& fn, DataPath& out, DiagEngine& diags,
                    const BuildOptions& options) {
+  faultpoint("dp.build");
   Builder b(fn, out, diags, options);
   return b.run();
 }

@@ -1,7 +1,10 @@
 #include "frontend/lexer.hpp"
 
 #include <cctype>
+#include <stdexcept>
 #include <unordered_map>
+
+#include "support/strings.hpp"
 
 namespace roccc::ast {
 
@@ -147,7 +150,14 @@ Token lexNumber(Cursor& c) {
   // Suffixes u/U/l/L are accepted and ignored (type comes from context).
   while (c.peek() == 'u' || c.peek() == 'U' || c.peek() == 'l' || c.peek() == 'L') c.advance();
   t.text = digits;
-  t.intValue = digits.empty() ? 0 : static_cast<int64_t>(std::stoull(digits, nullptr, base));
+  if (!digits.empty()) {
+    try {
+      t.intValue = static_cast<int64_t>(std::stoull(digits, nullptr, base));
+    } catch (const std::out_of_range&) {
+      c.diags().error(t.loc, fmt("integer literal '%0' does not fit in 64 bits", digits));
+      t.intValue = 0;
+    }
+  }
   return t;
 }
 

@@ -3,6 +3,8 @@
 #include <cassert>
 
 #include "frontend/lexer.hpp"
+#include "support/budget.hpp"
+#include "support/faultpoint.hpp"
 #include "support/strings.hpp"
 
 namespace roccc::ast {
@@ -58,6 +60,21 @@ class Parser {
   std::vector<Token> toks_;
   DiagEngine& diags_;
   size_t pos_ = 0;
+  int depth_ = 0;
+
+  // Recursion-depth governor: parseBinary/parseUnary/parseStmt recurse on
+  // input shape, so a 10k-deep expression would otherwise overflow the stack
+  // before any diagnostic fires. The budget's maxDepth cap turns that into a
+  // contained ResourceExceeded.
+  struct DepthGuard {
+    explicit DepthGuard(Parser& p) : p_(p) {
+      budgetCheckDepth(++p_.depth_, "parse");
+    }
+    ~DepthGuard() { --p_.depth_; }
+    DepthGuard(const DepthGuard&) = delete;
+    DepthGuard& operator=(const DepthGuard&) = delete;
+    Parser& p_;
+  };
 
   const Token& cur() const { return toks_[pos_]; }
   const Token& peek(size_t ahead = 1) const {
@@ -188,13 +205,16 @@ class Parser {
       case TokKind::Pipe: return BinOp::Or;
       case TokKind::AmpAmp: return BinOp::LAnd;
       case TokKind::PipePipe: return BinOp::LOr;
-      default: assert(false && "not a binary operator"); return BinOp::Add;
+      default:
+        throw InternalCompilerError(fmt("parser: token %0 has a binary precedence but no BinOp",
+                                        tokKindName(k)));
     }
   }
 
   ExprPtr parseExpr() { return parseBinary(0); }
 
   ExprPtr parseBinary(int minPrec) {
+    const DepthGuard guard(*this);
     ExprPtr lhs = parseUnary();
     for (;;) {
       const int prec = binOpPrecedence(cur().kind);
@@ -210,6 +230,7 @@ class Parser {
   }
 
   ExprPtr parseUnary() {
+    const DepthGuard guard(*this);
     const SourceLoc loc = cur().loc;
     if (accept(TokKind::Minus)) {
       auto u = std::make_unique<UnaryExpr>(UnOp::Neg, parseUnary());
@@ -299,6 +320,7 @@ class Parser {
   // --- statements ----------------------------------------------------------
 
   StmtPtr parseStmt() {
+    const DepthGuard guard(*this);
     const SourceLoc loc = cur().loc;
     if (at(TokKind::LBrace)) return parseBlock();
     if (at(TokKind::KwReturn)) {
@@ -644,6 +666,7 @@ class Parser {
 } // namespace
 
 Module parse(const std::string& source, DiagEngine& diags) {
+  faultpoint("frontend.parse");
   std::vector<Token> toks = lex(source, diags);
   Parser p(std::move(toks), diags);
   return p.parseModule();

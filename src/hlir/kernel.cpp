@@ -6,6 +6,7 @@
 #include <set>
 
 #include "frontend/sema.hpp"
+#include "support/faultpoint.hpp"
 #include "support/strings.hpp"
 
 namespace roccc::hlir {
@@ -323,6 +324,7 @@ class ReadFirstAnalysis {
 // The main extraction routine. Kept as one orchestrating function with
 // focused lambdas: the stages mirror the paper's presentation order.
 bool extractKernel(const Module& m, const std::string& fnName, KernelInfo& out, DiagEngine& diags) {
+  faultpoint("hlir.extract-kernel");
   const Function* fnPtr = m.findFunction(fnName);
   if (!fnPtr) {
     diags.error({}, fmt("no kernel named '%0'", fnName));
@@ -804,7 +806,8 @@ bool extractKernel(const Module& m, const std::string& fnName, KernelInfo& out, 
               return;
             }
           }
-          assert(false && "access not found in stream");
+          throw InternalCompilerError(
+              fmt("extract-kernel: input access '%0' missing from its stream's offset set", a.name));
         } else if (a.decl && isLookupTable(a.decl)) {
           // Dynamic const-table read -> ROCCC_lookup (ROM instantiation).
           for (auto& i : a.indices) rewriteExpr(i);
@@ -812,7 +815,12 @@ bool extractKernel(const Module& m, const std::string& fnName, KernelInfo& out, 
           lut->callee = intrinsics::kLookup;
           lut->loc = e->loc;
           lut->args.push_back(std::make_unique<VarRefExpr>(a.name));
-          assert(a.indices.size() == 1 && "multi-dim dynamic tables unsupported");
+          if (a.indices.size() != 1) {
+            throw InternalCompilerError(
+                fmt("extract-kernel: dynamic lookup table '%0' indexed with %1 subscripts "
+                    "(only 1-D tables lower to ROCCC_lookup)",
+                    a.name, a.indices.size()));
+          }
           lut->args.push_back(std::move(a.indices[0]));
           e = std::move(lut);
         }
@@ -909,7 +917,9 @@ bool extractKernel(const Module& m, const std::string& fnName, KernelInfo& out, 
               return;
             }
           }
-          assert(false && "output access not found in stream");
+          throw InternalCompilerError(fmt(
+              "extract-kernel: output access '%0' missing from its stream's offset set",
+              a.target.name));
         } else if (a.target.kind == LValue::Kind::Var && a.target.decl &&
                    feedbackSet.count(a.target.decl)) {
           a.target.name = fbLocalName(a.target.name);

@@ -5,6 +5,8 @@
 
 #include "frontend/sema.hpp"
 #include "interp/interp.hpp"
+#include "support/budget.hpp"
+#include "support/faultpoint.hpp"
 #include "support/strings.hpp"
 
 namespace roccc::hlir {
@@ -192,9 +194,11 @@ StmtPtr buildFullUnroll(const ForStmt& f, int64_t maxTrip) {
   if (!b || !e) return nullptr;
   const int64_t trips = tripCount(f);
   if (trips < 0 || trips > maxTrip) return nullptr;
+  budgetChargeUnroll(trips, "full-unroll");
   auto block = std::make_unique<BlockStmt>();
   block->loc = f.loc;
   for (int64_t iv = *b; iv < *e; iv += f.step) {
+    budgetCheckpoint("full-unroll");
     StmtPtr copy = f.body->clone();
     IntLitExpr lit(iv);
     lit.type = ScalarType::intTy();
@@ -309,9 +313,11 @@ bool unrollInnerLoop(Module& m, Function& fn, int factor, DiagEngine& diags) {
     if (trips < 0 || trips % factor != 0) {
       diags.error(f.loc, fmt("trip count %0 is not divisible by unroll factor %1", trips, factor));
     } else {
+      budgetChargeUnroll(factor, "partial-unroll");
       auto newBody = std::make_unique<BlockStmt>();
       newBody->loc = f.body->loc;
       for (int k = 0; k < factor; ++k) {
+        budgetCheckpoint("partial-unroll");
         StmtPtr copy = f.body->clone();
         if (k > 0) {
           // iv := iv + k*step
@@ -452,10 +458,12 @@ int fuseAdjacentLoops(Module& m, Function& fn, DiagEngine& diags) {
 
 namespace {
 
-int inlineCounter = 0;
-
 /// Expands one call statement in place; returns the replacement block.
-StmtPtr buildInlinedBody(const Function& callee, const CallExpr& call, DiagEngine& diags) {
+/// `inlineCounter` is owned by the calling inlineCalls invocation — a
+/// per-module counter, not a global, so concurrent compiles never share
+/// naming state and the fresh names are deterministic per job.
+StmtPtr buildInlinedBody(const Function& callee, const CallExpr& call, DiagEngine& diags,
+                         int& inlineCounter) {
   const int id = inlineCounter++;
   auto block = std::make_unique<BlockStmt>();
   block->loc = call.loc;
@@ -547,10 +555,13 @@ StmtPtr buildInlinedBody(const Function& callee, const CallExpr& call, DiagEngin
 } // namespace
 
 int inlineCalls(Module& m, DiagEngine& diags) {
+  faultpoint("hlir.inline");
   int inlined = 0;
+  int inlineCounter = 0;
   bool changed = true;
   int rounds = 0;
   while (changed && rounds++ < 32) { // depth bound; recursion is sema-rejected
+    budgetCheckpoint("inline");
     changed = false;
     for (auto& fn : m.functions) {
       StmtPtr bodyHolder(fn.body.release());
@@ -560,7 +571,7 @@ int inlineCalls(Module& m, DiagEngine& diags) {
         if (intrinsics::isIntrinsic(call.callee)) return;
         const Function* callee = m.findFunction(call.callee);
         if (!callee || callee == &fn) return;
-        if (StmtPtr repl = buildInlinedBody(*callee, call, diags)) {
+        if (StmtPtr repl = buildInlinedBody(*callee, call, diags, inlineCounter)) {
           s = std::move(repl);
           ++inlined;
           changed = true;
@@ -601,6 +612,7 @@ bool isPureUnaryFn(const Module& m, const Function& f) {
 } // namespace
 
 int convertCallsToLookupTables(Module& m, DiagEngine& diags, int maxIndexBits) {
+  faultpoint("hlir.lut-convert");
   int converted = 0;
   std::set<std::string> tablesBuilt;
   for (auto& fn : m.functions) {

@@ -3,6 +3,7 @@
 #include <cassert>
 
 #include "support/cosrom.hpp"
+#include "support/faultpoint.hpp"
 #include "support/strings.hpp"
 
 namespace roccc::interp {
@@ -192,7 +193,10 @@ void Interpreter::execStmt(const Stmt& s, Frame& f) {
         evalIntrinsic(call, f);
       } else {
         const Function* callee = module_.findFunction(call.callee);
-        assert(callee);
+        if (!callee) {
+          throw InternalCompilerError(
+              fmt("interp: call to unknown function '%0' survived sema", call.callee));
+        }
         std::vector<const Expr*> args;
         for (const auto& a : call.args) args.push_back(a.get());
         callFunction(*callee, args, f);

@@ -4,6 +4,7 @@
 #include <map>
 
 #include "support/cosrom.hpp"
+#include "support/faultpoint.hpp"
 #include "support/strings.hpp"
 
 namespace roccc::mir {
@@ -404,6 +405,7 @@ class Lowerer {
 } // namespace
 
 bool lowerToMir(const Module& m, const std::string& fnName, FunctionIR& out, DiagEngine& diags) {
+  faultpoint("mir.lower");
   const Function* fn = m.findFunction(fnName);
   if (!fn) {
     diags.error({}, fmt("no function named '%0' to lower", fnName));

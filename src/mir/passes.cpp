@@ -6,6 +6,8 @@
 #include <optional>
 
 #include "mir/exec.hpp"
+#include "support/budget.hpp"
+#include "support/faultpoint.hpp"
 #include "support/strings.hpp"
 
 namespace roccc::mir {
@@ -437,8 +439,10 @@ void canonicalizeSideEffects(FunctionIR& f) {
 }
 
 StandardPassStats runStandardPasses(FunctionIR& f) {
+  faultpoint("mir.optimize");
   StandardPassStats stats;
   for (int round = 0; round < 8; ++round) {
+    budgetCheckpoint("mir-optimize");
     const int cp = constantPropagate(f);
     const int cop = copyPropagate(f);
     const int sr = strengthReduce(f);

@@ -4,11 +4,13 @@
 #include <functional>
 #include <map>
 
+#include "support/faultpoint.hpp"
 #include "support/strings.hpp"
 
 namespace roccc::mir {
 
 void buildSSA(FunctionIR& f) {
+  faultpoint("mir.ssa");
   const DomTree dt = computeDominators(f);
 
   // Definition sites per register.

@@ -7,11 +7,23 @@
 #include "mir/passes.hpp"
 #include "mir/ssa.hpp"
 #include "rtl/from_dp.hpp"
+#include "support/faultpoint.hpp"
 #include "support/strings.hpp"
 #include "vhdl/emit.hpp"
 #include "vhdl/verilog.hpp"
 
 namespace roccc {
+
+const char* compileOutcomeName(CompileOutcome outcome) {
+  switch (outcome) {
+    case CompileOutcome::Ok: return "ok";
+    case CompileOutcome::FrontendError: return "frontend-error";
+    case CompileOutcome::Timeout: return "timeout";
+    case CompileOutcome::ResourceExceeded: return "resource-exceeded";
+    case CompileOutcome::InternalError: return "internal-error";
+  }
+  return "?";
+}
 
 namespace {
 
@@ -93,6 +105,7 @@ PassManager Compiler::buildPipeline() const {
               },
               opts.fullUnrollInnerLoops});
   pm.addPass({"unroll", PassLayer::Hlir, [](PassContext& ctx, PassStatistics& st) {
+                faultpoint("hlir.unroll");
                 int unrollFactor = ctx.options.unrollFactor;
                 if (ctx.options.autoUnrollSliceBudget > 0) {
                   // Area-estimation-driven unrolling (section 2 / ref [13]):
@@ -221,9 +234,31 @@ CompileResult Compiler::compileSource(const std::string& cSource) const {
   CompileResult r;
   PassContext ctx(options_, r);
   ctx.source = cSource;
-  const PassManager pm = buildPipeline();
-  pm.run(ctx, r.passLog);
-  r.ok = !r.diags.hasErrors();
+
+  // Per-job governance: the budget (deadline clock starts here) and any
+  // armed fault point are installed into this thread's slots, so layer code
+  // deep in the pipeline can checkpoint without threading a handle through
+  // every signature. Each batch job runs wholly on one worker thread.
+  CompileBudget budget(options_.budget);
+  ctx.budget = &budget;
+  BudgetScope budgetScope(&budget);
+  FaultInjectionScope faultScope(options_.injectFaultAt);
+
+  try {
+    const PassManager pm = buildPipeline();
+    pm.run(ctx, r.passLog);
+  } catch (const std::exception& e) {
+    // Belt over the pass-edge suspenders: nothing should escape
+    // PassManager::run, but a throw from pipeline construction itself must
+    // still come out as a structured outcome, not a dead process.
+    r.outcome = CompileOutcome::InternalError;
+    r.diags.error({}, fmt("internal: unhandled exception outside the pass boundary: %0", e.what()));
+  }
+
+  if (r.outcome == CompileOutcome::Ok && r.diags.hasErrors()) {
+    r.outcome = CompileOutcome::FrontendError;
+  }
+  r.ok = r.outcome == CompileOutcome::Ok && !r.diags.hasErrors();
   return r;
 }
 

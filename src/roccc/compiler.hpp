@@ -23,9 +23,23 @@
 #include "roccc/pipeline.hpp"
 #include "rtl/netlist.hpp"
 #include "rtl/system.hpp"
+#include "support/budget.hpp"
 #include "support/diag.hpp"
 
 namespace roccc {
+
+/// How a compile ended. Every failure mode is a structured outcome — a job
+/// can fail, a batch cannot crash (the fault-containment boundary at the
+/// PassManager pass edge converts thrown BudgetExceeded / std::bad_alloc /
+/// internal errors into the non-Ok rows here; DESIGN.md §9).
+enum class CompileOutcome {
+  Ok,               ///< compiled end to end
+  FrontendError,    ///< the input was rejected with diagnostics
+  Timeout,          ///< the per-job wall-clock deadline fired
+  ResourceExceeded, ///< an IR-node / unroll-product / depth budget or memory
+  InternalError,    ///< a compiler invariant broke (contained, not crashed)
+};
+const char* compileOutcomeName(CompileOutcome outcome);
 
 struct CompileOptions {
   /// Kernel function to compile; empty = the module's last function.
@@ -54,10 +68,22 @@ struct CompileOptions {
   dp::BuildOptions dpOptions;
   /// Pipeline instrumentation: verify-each, print-after snapshots.
   PipelineOptions pipeline;
+  /// Per-job resource budget (deadline, IR-node cap, unroll-product cap,
+  /// nesting-depth cap). Defaults are unlimited except the depth cap.
+  BudgetLimits budget;
+  /// Fault-injection arming: the faultpoint name (see
+  /// support/faultpoint.hpp) to throw at, or empty for none.
+  std::string injectFaultAt;
 };
 
 struct CompileResult {
   bool ok = false;
+  /// Structured classification of how the compile ended; `ok` is
+  /// outcome == Ok. Never Ok when diagnostics carry errors.
+  CompileOutcome outcome = CompileOutcome::Ok;
+  /// The pass that failed (or inside which a contained exception was
+  /// caught); empty on success and for failures outside the pipeline.
+  std::string failedPass;
   DiagEngine diags;
   /// Transformed-source module (after inlining/unrolling), for inspection.
   std::string transformedSource;

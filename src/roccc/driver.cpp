@@ -4,6 +4,8 @@
 #include <future>
 #include <thread>
 
+#include "support/faultpoint.hpp"
+#include "support/strings.hpp"
 #include "support/threadpool.hpp"
 #include "support/timer.hpp"
 
@@ -22,6 +24,28 @@ double BatchResult::kernelsPerSecond() const {
   return static_cast<double>(results.size()) * 1000.0 / wallMs;
 }
 
+int BatchResult::countOutcome(CompileOutcome outcome) const {
+  int n = 0;
+  for (const auto& r : results) {
+    if (r.outcome == outcome) ++n;
+  }
+  return n;
+}
+
+std::string BatchResult::outcomeSummary() const {
+  static constexpr CompileOutcome kOrder[] = {
+      CompileOutcome::Ok, CompileOutcome::FrontendError, CompileOutcome::Timeout,
+      CompileOutcome::ResourceExceeded, CompileOutcome::InternalError};
+  std::string out;
+  for (const CompileOutcome o : kOrder) {
+    const int n = countOutcome(o);
+    if (n == 0) continue;
+    if (!out.empty()) out += ", ";
+    out += fmt("%0 %1", n, compileOutcomeName(o));
+  }
+  return out.empty() ? "empty" : out;
+}
+
 CompileService::CompileService(int workers) : workers_(workers) {
   if (workers_ <= 0) {
     workers_ = std::max(1u, std::thread::hardware_concurrency());
@@ -38,9 +62,31 @@ BatchResult CompileService::compileBatch(const std::vector<CompileJob>& jobs) co
   // fresh Compiler and reports into the DiagEngine inside its own result.
   // Job order == result order by construction, so completion order (which
   // does vary with scheduling) is unobservable.
+  //
+  // The pipeline contains failures at the pass edge; the try/catch here is
+  // the driver's own last line: whatever still escapes a job (including the
+  // armed "driver.job" fault point) becomes an InternalError in that job's
+  // slot. No job can take down the batch, wedge its worker, or disturb a
+  // sibling's result.
   auto runJob = [&jobs, &batch](size_t i) {
-    const Compiler compiler(jobs[i].options);
-    batch.results[i] = compiler.compileSource(jobs[i].source);
+    FaultInjectionScope faultScope(jobs[i].options.injectFaultAt);
+    try {
+      faultpoint("driver.job");
+      const Compiler compiler(jobs[i].options);
+      batch.results[i] = compiler.compileSource(jobs[i].source);
+    } catch (const std::exception& e) {
+      CompileResult r;
+      r.outcome = CompileOutcome::InternalError;
+      r.diags.error({}, fmt("internal: job '%0' failed outside the pipeline: %1", jobs[i].name,
+                            e.what()));
+      batch.results[i] = std::move(r);
+    } catch (...) {
+      CompileResult r;
+      r.outcome = CompileOutcome::InternalError;
+      r.diags.error({}, fmt("internal: job '%0' failed outside the pipeline: unknown exception",
+                            jobs[i].name));
+      batch.results[i] = std::move(r);
+    }
   };
 
   if (workers_ == 1) {
@@ -55,7 +101,7 @@ BatchResult CompileService::compileBatch(const std::vector<CompileJob>& jobs) co
     for (size_t i = 0; i < jobs.size(); ++i) {
       pending.push_back(pool.submit([&runJob, i] { runJob(i); }));
     }
-    for (auto& f : pending) f.get(); // propagate any job exception
+    for (auto& f : pending) f.get(); // jobs never throw; futures only order completion
   }
 
   batch.wallMs = timer.elapsedMs();

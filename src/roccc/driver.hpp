@@ -19,6 +19,14 @@
 //     no layer from frontend to synth holds a hidden global or shared cache).
 // Only PassStatistics::wallMs is exempt — wall time is measurement, not
 // output.
+//
+// Fault containment: a job can fail, a batch cannot crash. Every exception a
+// compile can raise is converted into a structured CompileResult outcome at
+// the PassManager pass edge; the driver adds a last-resort catch around the
+// whole job so that even a failure outside the pipeline (or an armed
+// "driver.job" fault point) lands in the job's own result slot as
+// CompileOutcome::InternalError. Workers survive throwing jobs; surviving
+// jobs keep the byte-determinism guarantee (tests/fault_injection_test.cpp).
 #pragma once
 
 #include <string>
@@ -48,6 +56,11 @@ struct BatchResult {
   bool allOk() const { return succeeded() == static_cast<int>(results.size()); }
   /// Aggregate throughput: jobs completed per second of batch wall time.
   double kernelsPerSecond() const;
+  /// Jobs that ended with `outcome` (the per-outcome counts the batch
+  /// manifest reports).
+  int countOutcome(CompileOutcome outcome) const;
+  /// "9 ok, 1 timeout, 2 internal-error" — zero-count outcomes omitted.
+  std::string outcomeSummary() const;
 };
 
 class CompileService {

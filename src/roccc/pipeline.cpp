@@ -1,9 +1,11 @@
 #include "roccc/pipeline.hpp"
 
 #include <algorithm>
+#include <new>
 #include <sstream>
 
 #include "roccc/compiler.hpp"
+#include "support/faultpoint.hpp"
 #include "support/strings.hpp"
 #include "support/timer.hpp"
 #include "vhdl/check.hpp"
@@ -31,6 +33,23 @@ int64_t PassStatistics::counter(const std::string& key) const {
 }
 
 DiagEngine& PassContext::diags() { return result.diags; }
+
+int64_t PassContext::irNodeCount() const {
+  int64_t n = 0;
+  // AST: one node per statement plus one per expression, across the whole
+  // module (transforms like inlining grow functions other than the kernel).
+  for (const auto& fn : module.functions) {
+    if (!fn.body) continue;
+    ast::forEachStmt(*fn.body, [&](const ast::Stmt&) { ++n; });
+    ast::forEachExprInStmt(*fn.body, [&](const ast::Expr&) { ++n; });
+  }
+  for (const auto& b : result.mir.blocks) n += static_cast<int64_t>(b.instrs.size());
+  n += static_cast<int64_t>(result.datapath.ops.size());
+  n += static_cast<int64_t>(result.datapath.values.size());
+  n += static_cast<int64_t>(result.module.cells.size());
+  n += static_cast<int64_t>(result.module.nets.size());
+  return n;
+}
 
 std::vector<std::string> PassManager::passNames() const {
   std::vector<std::string> names;
@@ -127,6 +146,10 @@ bool PassManager::verifyAfter(const Pass& p, PassContext& ctx) const {
 }
 
 bool PassManager::run(PassContext& ctx, std::vector<PassStatistics>& stats) const {
+  // The fault-containment boundary: every exception a pass (or a budget
+  // checkpoint, or a verifier) can raise is caught at this edge and turned
+  // into a structured CompileResult outcome naming the failing pass. A job
+  // can fail; the process — and every sibling job in a batch — survives.
   for (const Pass& p : passes_) {
     PassStatistics st;
     st.name = p.name;
@@ -137,13 +160,55 @@ bool PassManager::run(PassContext& ctx, std::vector<PassStatistics>& stats) cons
     }
     st.ran = true;
     WallTimer timer;
-    const bool ok = p.run(ctx, st);
-    st.wallMs = timer.elapsedMs();
-    const bool failed = !ok || ctx.diags().hasErrors();
-    if (!failed && wantsSnapshot(p.name)) st.snapshot = snapshotOf(p, ctx);
-    stats.push_back(std::move(st));
-    if (failed) return false;
-    if ((options_.verifyEach || p.alwaysVerify) && !verifyAfter(p, ctx)) return false;
+    bool recorded = false; // st may already sit in `stats` when a verifier throws
+    auto contain = [&](CompileOutcome outcome, std::string message) {
+      if (!recorded) {
+        st.wallMs = timer.elapsedMs();
+        stats.push_back(std::move(st));
+      }
+      ctx.result.outcome = outcome;
+      ctx.result.failedPass = p.name;
+      ctx.diags().error({}, std::move(message));
+    };
+    try {
+      if (ctx.budget) ctx.budget->checkDeadline(p.name.c_str());
+      const bool ok = p.run(ctx, st);
+      // The post-pass boundary checkpoint: the IR this pass grew is what
+      // the next pass would have to chew through.
+      if (ok && ctx.budget) {
+        ctx.budget->checkpointPass(p.name.c_str(),
+                                   ctx.budget->wantsIrNodeCount() ? ctx.irNodeCount() : 0);
+      }
+      st.wallMs = timer.elapsedMs();
+      const bool failed = !ok || ctx.diags().hasErrors();
+      if (!failed && wantsSnapshot(p.name)) st.snapshot = snapshotOf(p, ctx);
+      stats.push_back(std::move(st));
+      recorded = true;
+      if (failed) {
+        ctx.result.outcome = CompileOutcome::FrontendError;
+        ctx.result.failedPass = p.name;
+        return false;
+      }
+      if ((options_.verifyEach || p.alwaysVerify) && !verifyAfter(p, ctx)) {
+        ctx.result.outcome = CompileOutcome::InternalError;
+        ctx.result.failedPass = p.name;
+        return false;
+      }
+    } catch (const BudgetExceeded& e) {
+      contain(e.kind() == BudgetKind::Deadline ? CompileOutcome::Timeout
+                                               : CompileOutcome::ResourceExceeded,
+              fmt("pass '%0': %1", p.name, e.what()));
+      return false;
+    } catch (const std::bad_alloc&) {
+      contain(CompileOutcome::ResourceExceeded, fmt("pass '%0': out of memory", p.name));
+      return false;
+    } catch (const std::exception& e) {
+      contain(CompileOutcome::InternalError, fmt("internal error in pass '%0': %1", p.name, e.what()));
+      return false;
+    } catch (...) {
+      contain(CompileOutcome::InternalError, fmt("internal error in pass '%0': unknown exception", p.name));
+      return false;
+    }
   }
   return true;
 }

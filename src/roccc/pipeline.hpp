@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "frontend/ast.hpp"
+#include "support/budget.hpp"
 #include "support/diag.hpp"
 
 namespace roccc {
@@ -64,8 +65,16 @@ struct PassContext {
   ast::Module module;     ///< AST under transformation (filled by 'parse')
   std::string kernelName; ///< resolved by 'parse'; owned here, not a pointer
   bool mirInSSA = false;  ///< selects mir::verify vs verifySSA
+  /// The job's resource budget; checkpointed at every pass boundary. Null
+  /// when the caller runs the pipeline without governance.
+  CompileBudget* budget = nullptr;
 
   PassContext(const CompileOptions& opts, CompileResult& res) : options(opts), result(res) {}
+
+  /// Total live IR size across every layer (AST statements + expressions,
+  /// MIR instructions, data-path ops/values, RTL cells + nets) — what the
+  /// maxIrNodes budget meters at pass boundaries.
+  int64_t irNodeCount() const;
 
   /// Fresh lookup of the kernel function — never hold the returned pointer
   /// across a pass boundary.

@@ -3,6 +3,8 @@
 #include <cassert>
 #include <map>
 
+#include "support/budget.hpp"
+#include "support/faultpoint.hpp"
 #include "support/strings.hpp"
 
 namespace roccc::rtl {
@@ -38,8 +40,9 @@ CellKind cellFor(Opcode op) {
     case Opcode::Mov: return CellKind::Resize;
     case Opcode::Cast: return CellKind::Resize;
     default:
-      assert(false && "no direct cell for opcode");
-      return CellKind::Resize;
+      throw InternalCompilerError(
+          fmt("rtl: opcode %0 reached cell lowering without a direct cell mapping",
+              static_cast<int>(op)));
   }
 }
 
@@ -85,8 +88,11 @@ class Lowering {
       }
     }
 
-    // Ops in dependency order.
+    // Ops in dependency order. The elaboration loop is the RTL layer's hot
+    // path (cell count scales with unroll factor), so it carries a deadline
+    // checkpoint.
     for (int oi : topoOrder()) {
+      budgetCheckpoint("rtl-elaborate");
       lowerOp(dp_.ops[static_cast<size_t>(oi)]);
       if (failed_) return false;
     }
@@ -273,6 +279,7 @@ class Lowering {
 } // namespace
 
 bool buildDatapathModule(const DataPath& dp, Module& out, DiagEngine& diags) {
+  faultpoint("rtl.elaborate");
   Lowering l(dp, out, diags);
   return l.run();
 }

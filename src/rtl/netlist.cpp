@@ -6,6 +6,7 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "support/faultpoint.hpp"
 #include "support/strings.hpp"
 
 namespace roccc::rtl {
@@ -256,8 +257,9 @@ Value NetlistSim::evalCell(const Cell& c) const {
     }
     case CellKind::Resize: return in(0).convertTo(rt);
     case CellKind::Reg:
-      assert(false && "registers are not combinationally evaluated");
-      return Value(rt, 0);
+      throw InternalCompilerError(
+          "netlist sim: Reg cell reached the combinational evaluator (registers "
+          "are stepped by eval(), never folded)");
   }
   return Value(rt, 0);
 }

@@ -1,0 +1,118 @@
+#include "support/budget.hpp"
+
+#include "support/strings.hpp"
+
+namespace roccc {
+
+const char* budgetKindName(BudgetKind kind) {
+  switch (kind) {
+    case BudgetKind::Deadline: return "deadline";
+    case BudgetKind::IrNodes: return "ir-nodes";
+    case BudgetKind::UnrollProduct: return "unroll-product";
+    case BudgetKind::Depth: return "depth";
+  }
+  return "?";
+}
+
+namespace {
+
+std::string describe(BudgetKind kind, const std::string& where, int64_t observed, int64_t limit) {
+  switch (kind) {
+    case BudgetKind::Deadline:
+      return fmt("compile deadline of %0 ms exceeded (at %1)", limit, where);
+    case BudgetKind::IrNodes:
+      return fmt("IR grew to %0 nodes, budget is %1 (at %2)", observed, limit, where);
+    case BudgetKind::UnrollProduct:
+      return fmt("unroll expansion product reached %0, budget is %1 (at %2)", observed, limit,
+                 where);
+    case BudgetKind::Depth:
+      return fmt("nesting depth %0 exceeds the cap of %1 (at %2)", observed, limit, where);
+  }
+  return "budget exceeded";
+}
+
+} // namespace
+
+BudgetExceeded::BudgetExceeded(BudgetKind kind, const std::string& where, int64_t observed,
+                               int64_t limit)
+    : std::runtime_error(describe(kind, where, observed, limit)),
+      kind_(kind),
+      where_(where),
+      observed_(observed),
+      limit_(limit) {}
+
+CompileBudget::CompileBudget(const BudgetLimits& limits) : limits_(limits) {
+  if (limits_.timeoutMs != 0) {
+    hasDeadline_ = true;
+    // A negative timeout yields an already-expired deadline: the first
+    // checkpoint throws, deterministically — how tests reach the Timeout
+    // outcome without racing the wall clock.
+    deadline_ = std::chrono::steady_clock::now() + std::chrono::milliseconds(limits_.timeoutMs);
+  }
+}
+
+void CompileBudget::checkDeadline(const char* where) {
+  if (!hasDeadline_) return;
+  const auto now = std::chrono::steady_clock::now();
+  if (now >= deadline_) {
+    const auto over = std::chrono::duration_cast<std::chrono::milliseconds>(now - deadline_);
+    throw BudgetExceeded(BudgetKind::Deadline, where, limits_.timeoutMs + over.count(),
+                         limits_.timeoutMs);
+  }
+}
+
+void CompileBudget::checkpointPass(const char* passName, int64_t irNodes) {
+  checkDeadline(passName);
+  if (limits_.maxIrNodes > 0 && irNodes > limits_.maxIrNodes) {
+    throw BudgetExceeded(BudgetKind::IrNodes, passName, irNodes, limits_.maxIrNodes);
+  }
+}
+
+void CompileBudget::chargeUnroll(int64_t factor, const char* where) {
+  if (factor <= 1) return;
+  // Saturating multiply: a 2^20 x 2^20 request must not wrap into "fine".
+  constexpr int64_t kSaturated = INT64_MAX / 2;
+  if (unrollProduct_ > kSaturated / factor) {
+    unrollProduct_ = kSaturated;
+  } else {
+    unrollProduct_ *= factor;
+  }
+  if (limits_.maxUnrollProduct > 0 && unrollProduct_ > limits_.maxUnrollProduct) {
+    throw BudgetExceeded(BudgetKind::UnrollProduct, where, unrollProduct_,
+                         limits_.maxUnrollProduct);
+  }
+}
+
+void CompileBudget::checkDepth(int64_t depth, const char* where) {
+  if (limits_.maxDepth > 0 && depth > limits_.maxDepth) {
+    throw BudgetExceeded(BudgetKind::Depth, where, depth, limits_.maxDepth);
+  }
+}
+
+namespace {
+
+// One slot per thread: each batch job runs wholly on one worker, so the
+// installed budget is never shared between jobs (the reentrancy audit's
+// no-mutable-globals rule; thread_local keeps it per-worker by design).
+thread_local CompileBudget* tlBudget = nullptr;
+
+} // namespace
+
+BudgetScope::BudgetScope(CompileBudget* budget) : prev_(tlBudget) { tlBudget = budget; }
+BudgetScope::~BudgetScope() { tlBudget = prev_; }
+
+CompileBudget* currentBudget() { return tlBudget; }
+
+void budgetCheckpoint(const char* where) {
+  if (tlBudget) tlBudget->checkDeadline(where);
+}
+
+void budgetChargeUnroll(int64_t factor, const char* where) {
+  if (tlBudget) tlBudget->chargeUnroll(factor, where);
+}
+
+void budgetCheckDepth(int64_t depth, const char* where) {
+  if (tlBudget) tlBudget->checkDepth(depth, where);
+}
+
+} // namespace roccc

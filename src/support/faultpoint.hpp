@@ -1,0 +1,80 @@
+// Fault-injection harness + the internal-error exception the containment
+// boundary classifies.
+//
+// roccc::faultpoint(name) hooks are compiled in at one representative site
+// per pipeline stage (the registry below names each site and the pass that
+// reaches it). Disarmed — the default — a hook is a thread_local load and a
+// null check. Armed via CompileOptions::injectFaultAt (or ROCCC_FAULT_INJECT
+// through roccc-cc), the named hook throws FaultInjected, which the
+// PassManager catches at the pass edge like any other internal error: the
+// job reports CompileOutcome::InternalError naming the failing pass, the
+// process survives, and sibling jobs in the batch are untouched.
+//
+// tests/fault_injection_test.cpp enumerates faultPointRegistry(), injects a
+// throw at every entry during an 8-worker Table 1 batch, and asserts the
+// containment contract (survival, classification, sibling byte-identity).
+//
+// InternalCompilerError is also thrown directly by code paths that used to
+// abort()/assert on input-dependent invariant violations — converted so the
+// containment boundary can classify them instead of killing the process.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace roccc {
+
+/// A compiler-invariant violation: contained at the pass edge and reported
+/// as CompileOutcome::InternalError, never as a crash.
+class InternalCompilerError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Thrown by an armed faultpoint(); a deliberately injected
+/// InternalCompilerError.
+class FaultInjected : public InternalCompilerError {
+ public:
+  explicit FaultInjected(const std::string& point)
+      : InternalCompilerError("injected fault at '" + point + "'"), point_(point) {}
+  const std::string& point() const { return point_; }
+
+ private:
+  std::string point_;
+};
+
+/// One compiled-in fault point: its name and the pipeline pass under which
+/// the hook executes ("" for hooks outside the PassManager, e.g. the batch
+/// driver's job boundary). The registry is the single source of truth the
+/// injection sweep enumerates; adding a faultpoint() site means adding its
+/// row here, or the sweep will not cover it.
+struct FaultPointInfo {
+  const char* name;
+  const char* pass;
+};
+const std::vector<FaultPointInfo>& faultPointRegistry();
+
+/// The hook. Near-zero cost when disarmed; throws FaultInjected when this
+/// thread is armed for exactly `name`.
+void faultpoint(const char* name);
+
+/// True when any fault point is armed on this thread.
+bool faultInjectionArmed();
+
+/// RAII arming of one fault point for the current thread (per-job: each
+/// batch job runs wholly on one worker). An empty name arms nothing.
+/// Scopes nest; the destructor restores the previous arming.
+class FaultInjectionScope {
+ public:
+  explicit FaultInjectionScope(const std::string& name);
+  ~FaultInjectionScope();
+  FaultInjectionScope(const FaultInjectionScope&) = delete;
+  FaultInjectionScope& operator=(const FaultInjectionScope&) = delete;
+
+ private:
+  const std::string* prev_;
+  std::string name_;
+};
+
+} // namespace roccc

@@ -1,0 +1,6 @@
+// 26-digit literal overflows int64; the lexer used to let std::stoull throw
+// out_of_range straight through main.
+void k(const int A[4], int B[4]) {
+  int i;
+  for (i = 0; i < 4; i = i + 1) { B[i] = A[i] + 99999999999999999999999999; }
+}

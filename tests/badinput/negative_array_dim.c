@@ -1,0 +1,5 @@
+// Array dimensions must be positive constants.
+void k(const int A[-3], int B[4]) {
+  int i;
+  for (i = 0; i < 4; i = i + 1) { B[i] = A[0]; }
+}

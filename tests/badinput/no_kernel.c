@@ -1,0 +1,2 @@
+// No function at all: nothing to compile.
+int just_a_global = 4;

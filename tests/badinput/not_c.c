@@ -1,0 +1,4 @@
+This file is not C at all -- the parser must reject every token and still
+terminate (the no-progress guard swallows one token per round, and the
+diagnostic engine caps the error count).
+%%% $$$ @@@ ))) }}} ;;;

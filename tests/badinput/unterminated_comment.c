@@ -1,0 +1,2 @@
+// Block comment that never closes.
+void k(const int A[4], int B[4]) { int i; /* unterminated

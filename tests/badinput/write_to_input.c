@@ -1,0 +1,5 @@
+// Writes into a const input stream: sema must reject the assignment.
+void k(const int A[8], int B[8]) {
+  int i;
+  for (i = 0; i < 8; i = i + 1) { A[i] = B[i]; }
+}

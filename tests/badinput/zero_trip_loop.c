@@ -1,0 +1,6 @@
+// The streaming loop never executes: [0, 0) has no iterations, so there is
+// no datapath to extract. Must be a clean frontend-error, not a crash.
+void k(const int A[8], int B[8]) {
+  int i;
+  for (i = 0; i < 0; i = i + 1) { B[i] = A[i]; }
+}

@@ -76,6 +76,37 @@ TEST(ThreadPool, JobExceptionPropagatesThroughFuture) {
   ok.get();
 }
 
+TEST(ThreadPool, EveryWorkerSurvivesRepeatedThrowingJobs) {
+  // 200 jobs, half of them throwing, on 4 workers: each worker is
+  // statistically guaranteed to hit many exceptions, and all 100 clean jobs
+  // must still complete — no worker dies or wedges after a throw.
+  ThreadPool pool(4);
+  std::atomic<int> ran{0};
+  std::vector<std::future<void>> futures;
+  for (int i = 0; i < 200; ++i) {
+    futures.push_back(pool.submit([&ran, i] {
+      if (i % 2 == 0) throw std::runtime_error("planned failure");
+      ran.fetch_add(1);
+    }));
+  }
+  int threw = 0;
+  for (auto& f : futures) {
+    try {
+      f.get();
+    } catch (const std::runtime_error&) {
+      ++threw;
+    }
+  }
+  EXPECT_EQ(threw, 100);
+  EXPECT_EQ(ran.load(), 100);
+  // The pool is still fully operational afterwards.
+  std::atomic<int> after{0};
+  std::vector<std::future<void>> more;
+  for (int i = 0; i < 20; ++i) more.push_back(pool.submit([&after] { after.fetch_add(1); }));
+  for (auto& f : more) f.get();
+  EXPECT_EQ(after.load(), 20);
+}
+
 TEST(ThreadPool, DestructorJoinsAfterPendingJobs) {
   std::atomic<int> ran{0};
   {

@@ -1,0 +1,115 @@
+// Malformed-input robustness: every file in tests/badinput/ must produce a
+// structured non-Ok CompileResult — a diagnostic and an outcome, never a
+// crash, an uncaught exception, or a hang. The suite runs under ASan in CI,
+// so any lexer/parser memory error on these inputs fails the build too.
+//
+// The compile runs under a real budget (deadline + IR cap + depth cap) so a
+// regression that turns one of these inputs into an infinite loop or an
+// exponential expansion is contained and reported rather than wedging the
+// test runner.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "../bench/kernels.hpp"
+#include "roccc/compiler.hpp"
+
+namespace roccc {
+namespace {
+
+std::vector<std::filesystem::path> corpusFiles() {
+  const char* dir = std::getenv("ROCCC_BADINPUT_DIR");
+#ifdef ROCCC_BADINPUT_DIR_DEFAULT
+  if (!dir) dir = ROCCC_BADINPUT_DIR_DEFAULT;
+#endif
+  std::vector<std::filesystem::path> files;
+  if (!dir || !std::filesystem::is_directory(dir)) return files;
+  for (const auto& e : std::filesystem::directory_iterator(dir)) {
+    if (e.path().extension() == ".c") files.push_back(e.path());
+  }
+  std::sort(files.begin(), files.end());
+  return files;
+}
+
+CompileOptions governedOptions() {
+  CompileOptions o;
+  o.budget.timeoutMs = 30'000;     // a hang becomes a Timeout, not a stuck runner
+  o.budget.maxIrNodes = 2'000'000; // an expansion blowup becomes ResourceExceeded
+  o.budget.maxDepth = 256;
+  return o;
+}
+
+TEST(FrontendRobustness, CorpusIsPresent) {
+  ASSERT_FALSE(corpusFiles().empty())
+      << "tests/badinput/*.c not found; set ROCCC_BADINPUT_DIR";
+}
+
+TEST(FrontendRobustness, EveryBadInputYieldsAStructuredFailure) {
+  for (const auto& path : corpusFiles()) {
+    std::ifstream in(path);
+    ASSERT_TRUE(in) << path;
+    std::ostringstream buf;
+    buf << in.rdbuf();
+
+    const Compiler compiler(governedOptions());
+    const CompileResult r = compiler.compileSource(buf.str());
+    EXPECT_FALSE(r.ok) << path.filename();
+    EXPECT_NE(r.outcome, CompileOutcome::Ok) << path.filename();
+    EXPECT_TRUE(r.diags.hasErrors()) << path.filename();
+  }
+}
+
+TEST(FrontendRobustness, BadInputsNeverReportInternalError) {
+  // Malformed *input* must be classified as the input's fault (FrontendError
+  // / ResourceExceeded / Timeout), never as a compiler invariant violation.
+  for (const auto& path : corpusFiles()) {
+    std::ifstream in(path);
+    ASSERT_TRUE(in) << path;
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    const Compiler compiler(governedOptions());
+    const CompileResult r = compiler.compileSource(buf.str());
+    EXPECT_NE(r.outcome, CompileOutcome::InternalError)
+        << path.filename() << ": " << r.diags.dump();
+  }
+}
+
+TEST(FrontendRobustness, HugeUnrollRequestIsContainedByTheBudget) {
+  // --unroll 1<<20 on a divisible trip count would clone the loop body a
+  // million times; the unroll-product budget stops it at the charge, before
+  // any expansion happens.
+  CompileOptions o = governedOptions();
+  o.unrollFactor = 1 << 20;
+  o.budget.maxUnrollProduct = 1 << 10;
+  const std::string source =
+      "void k(const int A[4], int B[4]) {\n"
+      "  int i;\n"
+      "  for (i = 0; i < 1048576; i = i + 1) { B[i & 3] = A[i & 3]; }\n"
+      "}\n";
+  const Compiler compiler(o);
+  const CompileResult r = compiler.compileSource(source);
+  EXPECT_FALSE(r.ok);
+  // Either the unroll charge (ResourceExceeded) or an earlier frontend
+  // rejection of the kernel shape is acceptable; a crash or an Ok is not.
+  EXPECT_NE(r.outcome, CompileOutcome::Ok);
+  EXPECT_NE(r.outcome, CompileOutcome::InternalError) << r.diags.dump();
+}
+
+TEST(FrontendRobustness, GoodKernelStillCompilesUnderTheSameGovernance) {
+  // The corpus guardrails must not reject legitimate input: the Table 1 FIR
+  // compiles to byte-identical output with and without the budget.
+  const Compiler plain(CompileOptions{});
+  const CompileResult base = plain.compileSource(bench::kFir);
+  ASSERT_TRUE(base.ok);
+  const Compiler governed(governedOptions());
+  const CompileResult r = governed.compileSource(bench::kFir);
+  ASSERT_TRUE(r.ok) << r.diags.dump();
+  EXPECT_EQ(r.vhdl, base.vhdl);
+}
+
+} // namespace
+} // namespace roccc

@@ -46,9 +46,25 @@
 //   --manifest FILE    read additional input paths from FILE (one per
 //                      line; blank lines and #-comments skipped)
 //   --quiet            only errors (suppresses reports and pass timing)
+//   --timeout-ms N     per-job wall-clock deadline (0 = none; negative =
+//                      already expired, for deterministic timeout tests)
+//   --max-ir-nodes N   per-job cap on total live IR nodes (0 = none)
+//   --max-unroll-product N
+//                      cap on the product of all unroll expansions (0 = none)
+//   --max-depth N      parser recursion / nesting depth cap (default 256,
+//                      0 = none)
+//   --inject-fault P   arm fault point P (see faultPointRegistry); the env
+//                      var ROCCC_FAULT_INJECT is the equivalent switch for
+//                      harnesses that cannot edit the command line
+//
+// Exit codes classify the outcome: 0 ok, 1 frontend error (bad input),
+// 2 usage, 3 timeout, 4 resource budget exceeded, 5 internal error. In
+// batch mode the summary line reports per-outcome counts and the exit code
+// is the first failing job's.
 //
 // Every --opt VALUE option also accepts the --opt=VALUE spelling.
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <functional>
@@ -95,6 +111,8 @@ int usage(const char* argv0) {
                "          [--time-passes] [--stats-json FILE] [--verify-each]\n"
                "          [--print-after-all] [--print-after PASS]\n"
                "          [--jobs N] [--manifest FILE]\n"
+               "          [--timeout-ms N] [--max-ir-nodes N] [--max-unroll-product N]\n"
+               "          [--max-depth N] [--inject-fault POINT]\n"
                "          [--quiet] kernel.c [kernel2.c ...]\n",
                argv0);
   return 2;
@@ -179,6 +197,32 @@ const std::vector<OptionSpec>& optionTable() {
        }},
       {"--manifest", true, [](Args& a, const char* v) { a.manifestPath = v; return true; }},
       {"--quiet", false, [](Args& a, const char*) { a.quiet = true; return true; }},
+      {"--timeout-ms", true,
+       [](Args& a, const char* v) {
+         char* end = nullptr;
+         a.options.budget.timeoutMs = std::strtoll(v, &end, 10);
+         return end != v && *end == '\0';
+       }},
+      {"--max-ir-nodes", true,
+       [](Args& a, const char* v) {
+         char* end = nullptr;
+         a.options.budget.maxIrNodes = std::strtoll(v, &end, 10);
+         return end != v && *end == '\0' && a.options.budget.maxIrNodes >= 0;
+       }},
+      {"--max-unroll-product", true,
+       [](Args& a, const char* v) {
+         char* end = nullptr;
+         a.options.budget.maxUnrollProduct = std::strtoll(v, &end, 10);
+         return end != v && *end == '\0' && a.options.budget.maxUnrollProduct >= 0;
+       }},
+      {"--max-depth", true,
+       [](Args& a, const char* v) {
+         char* end = nullptr;
+         a.options.budget.maxDepth = static_cast<int>(std::strtol(v, &end, 10));
+         return end != v && *end == '\0' && a.options.budget.maxDepth >= 0;
+       }},
+      {"--inject-fault", true,
+       [](Args& a, const char* v) { a.options.injectFaultAt = v; return true; }},
   };
   return table;
 }
@@ -244,6 +288,19 @@ bool readManifest(const std::string& path, std::vector<std::string>& inputs) {
   return true;
 }
 
+/// Outcome-classified exit code: scripts and the CI fault sweep key on
+/// these. 2 is reserved for usage errors.
+int exitCodeFor(roccc::CompileOutcome outcome) {
+  switch (outcome) {
+    case roccc::CompileOutcome::Ok: return 0;
+    case roccc::CompileOutcome::FrontendError: return 1;
+    case roccc::CompileOutcome::Timeout: return 3;
+    case roccc::CompileOutcome::ResourceExceeded: return 4;
+    case roccc::CompileOutcome::InternalError: return 5;
+  }
+  return 5;
+}
+
 /// <input>.c -> <input>.vhd (extension replaced, or appended when none).
 std::string defaultOutputPath(const std::string& input) {
   std::string out = input;
@@ -272,11 +329,15 @@ int runBatch(const Args& a) {
   const roccc::BatchResult batch = service.compileBatch(jobs);
 
   int failures = 0;
+  int firstFailureExit = 0;
   for (size_t i = 0; i < jobs.size(); ++i) {
     const roccc::CompileResult& r = batch.results[i];
     if (!r.ok) {
       ++failures;
-      std::fprintf(stderr, "%s: compile failed\n%s", jobs[i].name.c_str(), r.diags.dump().c_str());
+      if (firstFailureExit == 0) firstFailureExit = exitCodeFor(r.outcome);
+      std::fprintf(stderr, "%s: compile failed (%s%s%s)\n%s", jobs[i].name.c_str(),
+                   roccc::compileOutcomeName(r.outcome), r.failedPass.empty() ? "" : " in pass ",
+                   r.failedPass.c_str(), r.diags.dump().c_str());
       continue;
     }
     const auto chk = roccc::vhdl::checkDesign(r.vhdl);
@@ -301,8 +362,9 @@ int runBatch(const Args& a) {
     std::printf("batch: %d/%zu kernels ok on %d worker(s), %.1f ms total, %.1f kernels/s\n",
                 batch.succeeded(), jobs.size(), batch.workers, batch.wallMs,
                 batch.kernelsPerSecond());
+    std::printf("batch outcomes: %s\n", batch.outcomeSummary().c_str());
   }
-  return failures == 0 ? 0 : 1;
+  return firstFailureExit;
 }
 
 /// Random inputs covering the kernel's arrays and scalars.
@@ -331,6 +393,12 @@ int main(int argc, char** argv) {
   if (!parseArgs(argc, argv, a)) return usage(argv[0]);
   if (!a.manifestPath.empty() && !readManifest(a.manifestPath, a.inputs)) return 1;
   if (a.inputs.empty()) return usage(argv[0]);
+  // ROCCC_FAULT_INJECT: the environment spelling of --inject-fault, for
+  // harnesses that drive roccc-cc without editing its command line. The
+  // explicit flag wins.
+  if (a.options.injectFaultAt.empty()) {
+    if (const char* env = std::getenv("ROCCC_FAULT_INJECT")) a.options.injectFaultAt = env;
+  }
 
   if (a.inputs.size() > 1) {
     if (!a.output.empty()) {
@@ -371,8 +439,12 @@ int main(int argc, char** argv) {
     if (!a.quiet) std::printf("wrote %s\n", a.statsJsonPath.c_str());
   }
   if (!r.ok) {
+    if (r.outcome != roccc::CompileOutcome::FrontendError) {
+      std::fprintf(stderr, "%s: %s%s%s\n", input.c_str(), roccc::compileOutcomeName(r.outcome),
+                   r.failedPass.empty() ? "" : " in pass ", r.failedPass.c_str());
+    }
     std::fprintf(stderr, "%s", r.diags.dump().c_str());
-    return 1;
+    return exitCodeFor(r.outcome);
   }
   for (const auto& d : r.diags.all()) {
     if (d.severity == roccc::Severity::Warning) {
