@@ -16,6 +16,7 @@
 
 #include "ip/ip.hpp"
 #include "kernels.hpp"
+#include "roccc/cache.hpp"
 #include "roccc/compiler.hpp"
 #include "roccc/driver.hpp"
 #include "synth/estimate.hpp"
@@ -344,6 +345,74 @@ int main() {
       std::printf("  %8d | %10.1f | %12.1f | %s\n", workers, bestMs, bestRate,
                   deterministic ? "byte-identical" : "MISMATCH");
       if (!deterministic) return 1;
+    }
+  }
+
+  // --- compile cache: cold vs warm ----------------------------------------------
+  // The Table 1 sweep widened to unroll {1, 2, 4} (27 jobs) through
+  // CompileCache. Pass 1 compiles cold into a fresh in-memory cache; pass 2
+  // re-submits the identical batch and is served warm. A warm hit is held
+  // to byte identity with the cold compile (VHDL bytes and outcome), and
+  // the 8-worker warm/cold kernels/s ratio must clear 5x — the acceptance
+  // floor EXPERIMENTS.md records the measured rates against.
+  {
+    std::vector<CompileJob> jobs;
+    for (const auto& k : bench::kTable1Kernels) {
+      for (const int unroll : {1, 2, 4}) {
+        CompileOptions o;
+        if (k.targetStageDelayNs > 0) o.dpOptions.targetStageDelayNs = k.targetStageDelayNs;
+        o.unrollFactor = unroll;
+        jobs.push_back({std::string(k.name) + "/u" + std::to_string(unroll), k.source, o});
+      }
+    }
+    const int kCacheReps = 3;
+    std::printf("\nCompile cache cold vs warm (Table 1 x unroll 1/2/4 = %zu jobs, best of %d):\n\n",
+                jobs.size(), kCacheReps);
+    std::printf("  %-8s | %9s | %11s | %9s | %11s | %8s | %s\n", "workers", "cold ms",
+                "cold krn/s", "warm ms", "warm krn/s", "speedup", "identity");
+    std::printf("  ---------+-----------+-------------+-----------+-------------+----------+"
+                "---------\n");
+    double speedupAt8 = 0;
+    for (const int workers : {1, 2, 4, 8}) {
+      double bestColdMs = 0;
+      double bestWarmMs = 0;
+      double bestColdRate = 0;
+      double bestWarmRate = 0;
+      bool identical = true;
+      for (int rep = 0; rep < kCacheReps; ++rep) {
+        CompileService service(workers);
+        auto cache = std::make_shared<CompileCache>();
+        service.setCache(cache);
+        const BatchResult cold = service.compileBatch(jobs);
+        const BatchResult warm = service.compileBatch(jobs);
+        if (!cold.allOk() || !warm.allOk()) {
+          std::fprintf(stderr, "cache bench: batch failed at %d workers\n", workers);
+          return 1;
+        }
+        for (size_t i = 0; i < jobs.size(); ++i) {
+          identical = identical && warm.results[i].outcome == cold.results[i].outcome &&
+                      warm.results[i].vhdl == cold.results[i].vhdl;
+        }
+        if (bestColdMs == 0 || cold.wallMs < bestColdMs) {
+          bestColdMs = cold.wallMs;
+          bestColdRate = cold.kernelsPerSecond();
+        }
+        if (bestWarmMs == 0 || warm.wallMs < bestWarmMs) {
+          bestWarmMs = warm.wallMs;
+          bestWarmRate = warm.kernelsPerSecond();
+        }
+      }
+      const double speedup = bestWarmRate / bestColdRate;
+      if (workers == 8) speedupAt8 = speedup;
+      std::printf("  %8d | %9.1f | %11.1f | %9.2f | %11.1f | %7.1fx | %s\n", workers, bestColdMs,
+                  bestColdRate, bestWarmMs, bestWarmRate, speedup,
+                  identical ? "byte-identical" : "MISMATCH");
+      if (!identical) return 1;
+    }
+    if (speedupAt8 < 5.0) {
+      std::fprintf(stderr, "cache bench: warm speedup at 8 workers %.1fx is below the 5x floor\n",
+                   speedupAt8);
+      return 1;
     }
   }
 

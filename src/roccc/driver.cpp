@@ -1,9 +1,11 @@
 #include "roccc/driver.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <future>
 #include <thread>
 
+#include "roccc/cache.hpp"
 #include "support/faultpoint.hpp"
 #include "support/strings.hpp"
 #include "support/threadpool.hpp"
@@ -68,24 +70,42 @@ BatchResult CompileService::compileBatch(const std::vector<CompileJob>& jobs) co
   // armed "driver.job" fault point) becomes an InternalError in that job's
   // slot. No job can take down the batch, wedge its worker, or disturb a
   // sibling's result.
-  auto runJob = [&jobs, &batch](size_t i) {
+  std::atomic<int> cacheHits{0};
+  std::atomic<int> cacheMisses{0};
+  auto compileJob = [&jobs](size_t i) -> CompileResult {
     FaultInjectionScope faultScope(jobs[i].options.injectFaultAt);
     try {
       faultpoint("driver.job");
       const Compiler compiler(jobs[i].options);
-      batch.results[i] = compiler.compileSource(jobs[i].source);
+      return compiler.compileSource(jobs[i].source);
     } catch (const std::exception& e) {
       CompileResult r;
       r.outcome = CompileOutcome::InternalError;
       r.diags.error({}, fmt("internal: job '%0' failed outside the pipeline: %1", jobs[i].name,
                             e.what()));
-      batch.results[i] = std::move(r);
+      return r;
     } catch (...) {
       CompileResult r;
       r.outcome = CompileOutcome::InternalError;
       r.diags.error({}, fmt("internal: job '%0' failed outside the pipeline: unknown exception",
                             jobs[i].name));
-      batch.results[i] = std::move(r);
+      return r;
+    }
+  };
+  // With a cache attached, each job first derives its content-addressed key
+  // (on the worker thread — hashing is part of the job, not the submit
+  // loop); getOrCompute single-flights concurrent identical jobs onto one
+  // compile. Without one, the job body runs unconditionally, exactly as
+  // before the cache existed.
+  auto runJob = [this, &jobs, &batch, &compileJob, &cacheHits, &cacheMisses](size_t i) {
+    if (cache_) {
+      const std::string key = computeCacheKey(jobs[i].source, jobs[i].options);
+      bool wasHit = false;
+      batch.results[i] =
+          cache_->getOrCompute(key, jobs[i].options, [&] { return compileJob(i); }, &wasHit);
+      (wasHit ? cacheHits : cacheMisses).fetch_add(1, std::memory_order_relaxed);
+    } else {
+      batch.results[i] = compileJob(i);
     }
   };
 
@@ -105,6 +125,8 @@ BatchResult CompileService::compileBatch(const std::vector<CompileJob>& jobs) co
   }
 
   batch.wallMs = timer.elapsedMs();
+  batch.cacheHits = cacheHits.load();
+  batch.cacheMisses = cacheMisses.load();
   return batch;
 }
 

@@ -29,12 +29,15 @@
 // jobs keep the byte-determinism guarantee (tests/fault_injection_test.cpp).
 #pragma once
 
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "roccc/compiler.hpp"
 
 namespace roccc {
+
+class CompileCache;
 
 /// One unit of work for compileBatch.
 struct CompileJob {
@@ -51,6 +54,12 @@ struct BatchResult {
   std::vector<CompileResult> results;
   double wallMs = 0;  ///< wall time of the whole batch
   int workers = 1;    ///< worker count the batch ran on
+  /// Cache accounting for this batch (zero when no cache is attached).
+  /// `cacheHits` counts jobs served without running a compile — tier-1/-2
+  /// lookups plus single-flight waiters; `cacheMisses` counts jobs that
+  /// actually compiled. hits + misses == jobs when a cache is attached.
+  int cacheHits = 0;
+  int cacheMisses = 0;
 
   int succeeded() const;
   bool allOk() const { return succeeded() == static_cast<int>(results.size()); }
@@ -72,10 +81,22 @@ class CompileService {
   /// call from multiple threads; batches share the pool but never results.
   BatchResult compileBatch(const std::vector<CompileJob>& jobs) const;
 
+  /// Attaches a compile-result cache (src/roccc/cache.hpp). Jobs whose
+  /// content-addressed key is already cached are served without compiling;
+  /// identical in-flight jobs are single-flighted onto one compile. The
+  /// cache may be shared between services and outlives any batch. Null
+  /// detaches. Determinism note: a cache hit materializes a CompileResult
+  /// whose artifact bytes (VHDL/Verilog, transformed source, diagnostics,
+  /// pass counters) are identical to a fresh compile's; the heavyweight IR
+  /// fields (kernel/mir/datapath/module) are empty on a hit.
+  void setCache(std::shared_ptr<CompileCache> cache) { cache_ = std::move(cache); }
+  const std::shared_ptr<CompileCache>& cache() const { return cache_; }
+
   int workers() const { return workers_; }
 
  private:
   int workers_;
+  std::shared_ptr<CompileCache> cache_;
 };
 
 } // namespace roccc

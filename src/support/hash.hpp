@@ -1,0 +1,46 @@
+// SHA-256 (FIPS 180-4), self-contained — the content-addressing primitive
+// behind roccc::CompileCache (src/roccc/cache.hpp).
+//
+// The streaming interface digests arbitrarily large inputs in chunks; the
+// convenience functions hash a whole buffer in one call. Output is the
+// conventional 64-character lowercase hex digest, which the cache uses both
+// as the in-memory map key and as the on-disk entry filename (content
+// addressing: equal bytes <=> equal name).
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace roccc {
+
+class Sha256 {
+ public:
+  Sha256();
+
+  /// Absorbs `len` bytes. May be called any number of times.
+  void update(const void* data, size_t len);
+  void update(std::string_view s) { update(s.data(), s.size()); }
+
+  /// Finishes the digest (padding + length block) and returns the 32 raw
+  /// bytes. The object must not be updated afterwards.
+  std::array<uint8_t, 32> digest();
+  /// digest(), rendered as 64 lowercase hex characters.
+  std::string hex();
+
+ private:
+  void compress(const uint8_t* block);
+
+  std::array<uint32_t, 8> state_;
+  uint64_t totalBytes_ = 0;
+  std::array<uint8_t, 64> buffer_{};
+  size_t bufferLen_ = 0;
+  bool finished_ = false;
+};
+
+/// One-shot digest of a whole buffer, as lowercase hex.
+std::string sha256Hex(std::string_view data);
+
+} // namespace roccc

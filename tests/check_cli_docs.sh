@@ -1,0 +1,41 @@
+#!/bin/sh
+# Checks that docs/CLI.md documents exactly the options roccc-cc --help
+# reports — both directions: an undocumented flag fails, and so does a
+# documented flag the binary no longer accepts.
+#
+#   check_cli_docs.sh <path-to-roccc-cc> <path-to-CLI.md>
+#
+# Registered as the `cli_docs_in_sync` ctest (tests/CMakeLists.txt) and run
+# by the docs CI job.
+set -eu
+
+RCC="$1"
+DOC="$2"
+
+[ -x "$RCC" ] || { echo "error: '$RCC' is not executable" >&2; exit 1; }
+[ -f "$DOC" ] || { echo "error: '$DOC' not found" >&2; exit 1; }
+
+tmpdir="$(mktemp -d)"
+trap 'rm -rf "$tmpdir"' EXIT
+
+# Flags as --help lists them: the option table prints one per line, indented
+# two spaces.
+"$RCC" --help \
+  | sed -n 's/^  \(--\{0,1\}[a-z][a-z0-9-]*\).*/\1/p' \
+  | sort -u > "$tmpdir/help_flags"
+
+# Flags as documented: every `--flag` (or `-o`) that starts a backticked
+# span in the reference table/headings of CLI.md.
+grep -oE '`--?[a-z][a-z0-9-]*' "$DOC" \
+  | sed 's/^`//' \
+  | sort -u > "$tmpdir/doc_flags"
+
+if ! diff -u "$tmpdir/help_flags" "$tmpdir/doc_flags" > "$tmpdir/diff"; then
+  echo "docs/CLI.md is out of sync with roccc-cc --help:" >&2
+  echo "(lines prefixed '-' are in --help but undocumented;" >&2
+  echo " lines prefixed '+' are documented but not in --help)" >&2
+  cat "$tmpdir/diff" >&2
+  exit 1
+fi
+
+echo "docs/CLI.md and roccc-cc --help agree ($(wc -l < "$tmpdir/help_flags") flags)"

@@ -15,10 +15,13 @@
 #include <gtest/gtest.h>
 
 #include <cstdlib>
+#include <memory>
+#include <random>
 #include <string>
 #include <vector>
 
 #include "kernel_fuzzer.hpp"
+#include "roccc/cache.hpp"
 #include "roccc/compiler.hpp"
 #include "roccc/driver.hpp"
 
@@ -107,6 +110,53 @@ TEST(DriverStress, MixedOptionsUnderContention) {
     ASSERT_EQ(parallel.results[i].ok, serial.results[i].ok) << jobs[i].source;
     ASSERT_EQ(parallel.results[i].vhdl, serial.results[i].vhdl) << jobs[i].source;
   }
+}
+
+TEST(DriverStress, CacheToggledBatchesMatchSerialUncachedReference) {
+  // The sharded compile cache under the same contention as the rest of the
+  // suite: batches of fuzz kernels (with repeats, so hits and single-flight
+  // coalescing actually occur) run with the cache randomly attached or
+  // detached per round, on 8 workers, and every result must match the
+  // serial uncached reference compile of the same kernel. This is the
+  // cache's TSan workload in the build-tsan preset.
+  const int seeds = std::min(seedCount(), 24);
+  std::vector<CompileJob> distinct = fuzzBatch(seeds, 0xcac4ed);
+
+  // Serial uncached reference, one result per distinct kernel.
+  const BatchResult reference = CompileService(1).compileBatch(distinct);
+
+  auto cache = std::make_shared<CompileCache>();
+  std::mt19937_64 rng(0x70991eull); // fixed seed; toggling must not matter
+  for (int round = 0; round < 6; ++round) {
+    // Each round draws ~2x the distinct set with repeats.
+    std::vector<CompileJob> jobs;
+    std::vector<size_t> origin;
+    std::uniform_int_distribution<size_t> pick(0, distinct.size() - 1);
+    for (size_t n = 0; n < distinct.size() * 2; ++n) {
+      const size_t i = pick(rng);
+      jobs.push_back(distinct[i]);
+      origin.push_back(i);
+    }
+    CompileService service(kWorkers);
+    const bool cached = round % 2 == 1 || (rng() & 1);
+    if (cached) service.setCache(cache);
+
+    const BatchResult batch = service.compileBatch(jobs);
+    ASSERT_EQ(batch.results.size(), jobs.size());
+    if (!cached) {
+      EXPECT_EQ(batch.cacheHits + batch.cacheMisses, 0) << "round " << round;
+    }
+    for (size_t n = 0; n < jobs.size(); ++n) {
+      const CompileResult& want = reference.results[origin[n]];
+      ASSERT_EQ(batch.results[n].ok, want.ok) << "round " << round << " slot " << n;
+      ASSERT_EQ(batch.results[n].vhdl, want.vhdl) << "round " << round << " slot " << n;
+      ASSERT_EQ(batch.results[n].verilog, want.verilog) << "round " << round << " slot " << n;
+    }
+  }
+  // Across the cached rounds the cache must have actually been exercised.
+  const CacheStats stats = cache->stats();
+  EXPECT_GT(stats.hits + stats.coalesced, 0);
+  EXPECT_GT(stats.misses, 0);
 }
 
 } // namespace

@@ -1,0 +1,103 @@
+#!/usr/bin/env python3
+"""Check relative markdown links.
+
+Scans the given markdown files (or the repo's docs set when run without
+arguments) for inline links and validates every relative one: the target
+file must exist, and a #fragment must name a heading in the target.
+External (http/https/mailto) links are not fetched. Exit 0 = all links
+resolve; exit 1 lists every broken link as file:line.
+
+Wired into CI next to the cli_docs_in_sync check; run locally with
+
+    python3 tools/check_markdown_links.py
+"""
+
+import os
+import re
+import sys
+
+LINK_RE = re.compile(r"(?<!\!)\[[^\]]*\]\(([^)\s]+)\)")
+HEADING_RE = re.compile(r"^#{1,6}\s+(.*)$")
+EXTERNAL = ("http://", "https://", "mailto:")
+CODE_FENCE = re.compile(r"^(```|~~~)")
+
+
+def heading_anchor(text):
+    """GitHub-style anchor: lowercase, spaces to dashes, punctuation dropped."""
+    text = re.sub(r"`([^`]*)`", r"\1", text.strip())
+    text = re.sub(r"\[([^\]]*)\]\([^)]*\)", r"\1", text)  # linked headings
+    text = text.lower()
+    text = re.sub(r"[^\w\- ]", "", text, flags=re.UNICODE)
+    return text.replace(" ", "-")
+
+
+def anchors_in(path):
+    anchors = set()
+    in_fence = False
+    with open(path, encoding="utf-8") as f:
+        for line in f:
+            if CODE_FENCE.match(line):
+                in_fence = not in_fence
+                continue
+            if in_fence:
+                continue
+            m = HEADING_RE.match(line)
+            if m:
+                anchors.add(heading_anchor(m.group(1)))
+    return anchors
+
+
+def check_file(path, errors):
+    base = os.path.dirname(os.path.abspath(path))
+    in_fence = False
+    with open(path, encoding="utf-8") as f:
+        for lineno, line in enumerate(f, 1):
+            if CODE_FENCE.match(line):
+                in_fence = not in_fence
+                continue
+            if in_fence:
+                continue
+            for m in LINK_RE.finditer(line):
+                target = m.group(1)
+                if target.startswith(EXTERNAL) or target.startswith("#"):
+                    continue
+                target_path, _, fragment = target.partition("#")
+                resolved = os.path.normpath(os.path.join(base, target_path))
+                if not os.path.exists(resolved):
+                    errors.append(f"{path}:{lineno}: broken link: {target}")
+                    continue
+                if fragment and resolved.endswith(".md"):
+                    if fragment not in anchors_in(resolved):
+                        errors.append(
+                            f"{path}:{lineno}: missing anchor #{fragment} in {target_path}")
+
+
+def default_files(repo_root):
+    files = []
+    for name in ("README.md", "DESIGN.md", "EXPERIMENTS.md", "ROADMAP.md"):
+        p = os.path.join(repo_root, name)
+        if os.path.exists(p):
+            files.append(p)
+    docs = os.path.join(repo_root, "docs")
+    if os.path.isdir(docs):
+        for name in sorted(os.listdir(docs)):
+            if name.endswith(".md"):
+                files.append(os.path.join(docs, name))
+    return files
+
+
+def main(argv):
+    repo_root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+    files = argv[1:] or default_files(repo_root)
+    errors = []
+    for path in files:
+        check_file(path, errors)
+    if errors:
+        print("\n".join(errors))
+        return 1
+    print(f"checked {len(files)} markdown file(s): all relative links resolve")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -45,6 +45,13 @@
 //                      (0 = one per hardware thread)
 //   --manifest FILE    read additional input paths from FILE (one per
 //                      line; blank lines and #-comments skipped)
+//   --cache            batch mode: enable the content-addressed compile
+//                      cache (roccc::CompileCache); identical jobs are
+//                      served from memory / single-flighted
+//   --cache-dir DIR    persistent on-disk cache tier in DIR, surviving
+//                      across invocations (implies --cache)
+//   --cache-bytes N    in-memory cache byte budget (default 256 MiB;
+//                      implies --cache)
 //   --quiet            only errors (suppresses reports and pass timing)
 //   --timeout-ms N     per-job wall-clock deadline (0 = none; negative =
 //                      already expired, for deterministic timeout tests)
@@ -63,6 +70,8 @@
 // is the first failing job's.
 //
 // Every --opt VALUE option also accepts the --opt=VALUE spelling.
+// docs/CLI.md is the full flag reference; a CI test keeps it in sync with
+// the --help output generated from the option table below.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -74,6 +83,7 @@
 #include <vector>
 
 #include "dp/annotate.hpp"
+#include "roccc/cache.hpp"
 #include "roccc/compiler.hpp"
 #include "roccc/driver.hpp"
 #include "synth/estimate.hpp"
@@ -100,30 +110,29 @@ struct Args {
   bool dumpMir = false;
   bool timePasses = false;
   bool quiet = false;
+  bool showHelp = false;
+  bool cacheEnabled = false;
+  std::string cacheDir;
+  int64_t cacheBytes = 0; ///< 0 = CacheConfig default
 };
 
 int usage(const char* argv0) {
   std::fprintf(stderr,
-               "usage: %s [-o out.vhd] [--kernel NAME] [--unroll N] [--target-ns X]\n"
-               "          [--mult-style lut|mult18] [--no-infer] [--no-pipeline]\n"
-               "          [--testbench] [--cosim] [--sim-engine ref|fast]\n"
-               "          [--dump-datapath] [--dump-mir]\n"
-               "          [--time-passes] [--stats-json FILE] [--verify-each]\n"
-               "          [--print-after-all] [--print-after PASS]\n"
-               "          [--jobs N] [--manifest FILE]\n"
-               "          [--timeout-ms N] [--max-ir-nodes N] [--max-unroll-product N]\n"
-               "          [--max-depth N] [--inject-fault POINT]\n"
-               "          [--quiet] kernel.c [kernel2.c ...]\n",
-               argv0);
+               "usage: %s [options] kernel.c [kernel2.c ...]\n"
+               "       %s --help for the option list (docs/CLI.md has the full reference)\n",
+               argv0, argv0);
   return 2;
 }
 
-/// One row of the option table: flags take no value; value options accept
-/// both "--opt VALUE" and "--opt=VALUE". The handler returns false on a bad
-/// value.
+/// One row of the option table: entries with a null `valueName` are pure
+/// flags; value options accept both "--opt VALUE" and "--opt=VALUE". The
+/// handler returns false on a bad value. The --help listing and the
+/// docs/CLI.md sync check are generated from this table, so every option
+/// must live here.
 struct OptionSpec {
   const char* name;
-  bool takesValue;
+  const char* valueName; ///< null for flags; shown in --help
+  const char* help;      ///< one-line --help description
   std::function<bool(Args&, const char*)> apply;
 };
 
@@ -131,16 +140,18 @@ const std::vector<OptionSpec>& optionTable() {
   using roccc::dp::BuildOptions;
   using roccc::rtl::SimEngine;
   static const std::vector<OptionSpec> table = {
-      {"-o", true, [](Args& a, const char* v) { a.output = v; return true; }},
-      {"--kernel", true, [](Args& a, const char* v) { a.options.kernelName = v; return true; }},
-      {"--unroll", true,
+      {"-o", "FILE", "output VHDL path (default: <input>.vhd)",
+       [](Args& a, const char* v) { a.output = v; return true; }},
+      {"--kernel", "NAME", "kernel function (default: last function in the file)",
+       [](Args& a, const char* v) { a.options.kernelName = v; return true; }},
+      {"--unroll", "N", "partially unroll the streaming loop by N",
        [](Args& a, const char* v) { a.options.unrollFactor = std::atoi(v); return true; }},
-      {"--target-ns", true,
+      {"--target-ns", "X", "pipeline stage delay target in ns (default 4.0)",
        [](Args& a, const char* v) {
          a.options.dpOptions.targetStageDelayNs = std::atof(v);
          return true;
        }},
-      {"--mult-style", true,
+      {"--mult-style", "S", "multiplier style: 'lut' (default) or 'mult18'",
        [](Args& a, const char* v) {
          if (std::strcmp(v, "lut") == 0) {
            a.options.dpOptions.multStyle = BuildOptions::MultStyle::Lut;
@@ -151,13 +162,15 @@ const std::vector<OptionSpec>& optionTable() {
          }
          return true;
        }},
-      {"--no-infer", false,
+      {"--no-infer", nullptr, "disable bit-width inference",
        [](Args& a, const char*) { a.options.dpOptions.inferBitWidths = false; return true; }},
-      {"--no-pipeline", false,
+      {"--no-pipeline", nullptr, "single combinational stage (no pipelining)",
        [](Args& a, const char*) { a.options.dpOptions.pipeline = false; return true; }},
-      {"--testbench", false, [](Args& a, const char*) { a.testbench = true; return true; }},
-      {"--cosim", false, [](Args& a, const char*) { a.cosim = true; return true; }},
-      {"--sim-engine", true,
+      {"--testbench", nullptr, "also write <output>_tb.vhd with random vectors",
+       [](Args& a, const char*) { a.testbench = true; return true; }},
+      {"--cosim", nullptr, "run the RTL system and verify against the interpreter",
+       [](Args& a, const char*) { a.cosim = true; return true; }},
+      {"--sim-engine", "E", "netlist engine for --cosim: 'fast' (default) or 'ref'",
        [](Args& a, const char* v) {
          if (std::strcmp(v, "ref") == 0 || std::strcmp(v, "reference") == 0) {
            a.engine = SimEngine::Reference;
@@ -168,63 +181,107 @@ const std::vector<OptionSpec>& optionTable() {
          }
          return true;
        }},
-      {"--vcd", true,
+      {"--vcd", "FILE", "with --cosim: dump a VCD waveform of the run",
        [](Args& a, const char* v) {
          a.vcdPath = v;
          a.cosim = true;
          return true;
        }},
-      {"--verilog", true, [](Args& a, const char* v) { a.verilogPath = v; return true; }},
-      {"--json", true, [](Args& a, const char* v) { a.jsonPath = v; return true; }},
-      {"--stats-json", true, [](Args& a, const char* v) { a.statsJsonPath = v; return true; }},
-      {"--dump-datapath", false, [](Args& a, const char*) { a.dumpDatapath = true; return true; }},
-      {"--dump-mir", false, [](Args& a, const char*) { a.dumpMir = true; return true; }},
-      {"--time-passes", false, [](Args& a, const char*) { a.timePasses = true; return true; }},
-      {"--verify-each", false,
+      {"--verilog", "FILE", "also write the Verilog form of the design",
+       [](Args& a, const char* v) { a.verilogPath = v; return true; }},
+      {"--json", "FILE", "export the data-path graph as JSON",
+       [](Args& a, const char* v) { a.jsonPath = v; return true; }},
+      {"--stats-json", "FILE", "write pass statistics (single) or batch+cache stats as JSON",
+       [](Args& a, const char* v) { a.statsJsonPath = v; return true; }},
+      {"--dump-datapath", nullptr, "print the data-path op listing",
+       [](Args& a, const char*) { a.dumpDatapath = true; return true; }},
+      {"--dump-mir", nullptr, "print the back-end IR",
+       [](Args& a, const char*) { a.dumpMir = true; return true; }},
+      {"--time-passes", nullptr, "print the per-pass timing/counter table",
+       [](Args& a, const char*) { a.timePasses = true; return true; }},
+      {"--verify-each", nullptr, "run the layer verifier after every pipeline pass",
        [](Args& a, const char*) { a.options.pipeline.verifyEach = true; return true; }},
-      {"--print-after-all", false,
+      {"--print-after-all", nullptr, "dump the IR after every pass (stderr)",
        [](Args& a, const char*) { a.options.pipeline.printAfterAll = true; return true; }},
-      {"--print-after", true,
+      {"--print-after", "P", "dump the IR after pass P (repeatable)",
        [](Args& a, const char* v) {
          a.options.pipeline.printAfter.emplace_back(v);
          return true;
        }},
-      {"--jobs", true,
+      {"--jobs", "N", "batch mode: N worker threads (0 = one per hardware thread)",
        [](Args& a, const char* v) {
          char* end = nullptr;
          a.jobs = static_cast<int>(std::strtol(v, &end, 10));
          return end != v && *end == '\0' && a.jobs >= 0;
        }},
-      {"--manifest", true, [](Args& a, const char* v) { a.manifestPath = v; return true; }},
-      {"--quiet", false, [](Args& a, const char*) { a.quiet = true; return true; }},
-      {"--timeout-ms", true,
+      {"--manifest", "FILE", "read additional input paths from FILE (one per line)",
+       [](Args& a, const char* v) { a.manifestPath = v; return true; }},
+      {"--cache", nullptr, "batch mode: enable the content-addressed compile cache",
+       [](Args& a, const char*) { a.cacheEnabled = true; return true; }},
+      {"--cache-dir", "DIR", "persistent on-disk cache tier in DIR (implies --cache)",
+       [](Args& a, const char* v) {
+         a.cacheEnabled = true;
+         a.cacheDir = v;
+         return true;
+       }},
+      {"--cache-bytes", "N", "in-memory cache byte budget, default 256 MiB (implies --cache)",
+       [](Args& a, const char* v) {
+         char* end = nullptr;
+         a.cacheBytes = std::strtoll(v, &end, 10);
+         a.cacheEnabled = true;
+         return end != v && *end == '\0' && a.cacheBytes > 0;
+       }},
+      {"--quiet", nullptr, "only errors (suppresses reports and pass timing)",
+       [](Args& a, const char*) { a.quiet = true; return true; }},
+      {"--timeout-ms", "N", "per-job wall-clock deadline (0 = none; negative = expired)",
        [](Args& a, const char* v) {
          char* end = nullptr;
          a.options.budget.timeoutMs = std::strtoll(v, &end, 10);
          return end != v && *end == '\0';
        }},
-      {"--max-ir-nodes", true,
+      {"--max-ir-nodes", "N", "per-job cap on total live IR nodes (0 = none)",
        [](Args& a, const char* v) {
          char* end = nullptr;
          a.options.budget.maxIrNodes = std::strtoll(v, &end, 10);
          return end != v && *end == '\0' && a.options.budget.maxIrNodes >= 0;
        }},
-      {"--max-unroll-product", true,
+      {"--max-unroll-product", "N", "cap on the product of all unroll expansions (0 = none)",
        [](Args& a, const char* v) {
          char* end = nullptr;
          a.options.budget.maxUnrollProduct = std::strtoll(v, &end, 10);
          return end != v && *end == '\0' && a.options.budget.maxUnrollProduct >= 0;
        }},
-      {"--max-depth", true,
+      {"--max-depth", "N", "parser recursion/nesting depth cap (default 256, 0 = none)",
        [](Args& a, const char* v) {
          char* end = nullptr;
          a.options.budget.maxDepth = static_cast<int>(std::strtol(v, &end, 10));
          return end != v && *end == '\0' && a.options.budget.maxDepth >= 0;
        }},
-      {"--inject-fault", true,
+      {"--inject-fault", "P", "arm fault point P (see faultPointRegistry)",
        [](Args& a, const char* v) { a.options.injectFaultAt = v; return true; }},
+      {"--help", nullptr, "print this option list and exit",
+       [](Args& a, const char*) { a.showHelp = true; return true; }},
   };
   return table;
+}
+
+/// The --help listing, generated from the option table; the docs/CLI.md
+/// sync test (tests/check_cli_docs.sh) parses this output.
+void printHelp(const char* argv0) {
+  std::printf("usage: %s [options] kernel.c [kernel2.c ...]\n\n"
+              "Compiles C kernels to RTL VHDL; with multiple inputs, compiles them as a\n"
+              "concurrent batch. docs/CLI.md is the full reference.\n\noptions:\n",
+              argv0);
+  for (const auto& s : optionTable()) {
+    std::string left = s.name;
+    if (s.valueName) {
+      left += ' ';
+      left += s.valueName;
+    }
+    std::printf("  %-22s %s\n", left.c_str(), s.help);
+  }
+  std::printf("\nexit codes: 0 ok, 1 frontend error, 2 usage, 3 timeout,\n"
+              "            4 resource budget exceeded, 5 internal error\n");
 }
 
 bool parseArgs(int argc, char** argv, Args& a) {
@@ -252,7 +309,7 @@ bool parseArgs(int argc, char** argv, Args& a) {
     }
     if (!spec) return false;
     const char* value = nullptr;
-    if (spec->takesValue) {
+    if (spec->valueName) {
       if (hasInlineValue) {
         value = inlineValue.c_str();
       } else if (i + 1 < argc) {
@@ -265,7 +322,7 @@ bool parseArgs(int argc, char** argv, Args& a) {
     }
     if (!spec->apply(a, value)) return false;
   }
-  return !a.inputs.empty() || !a.manifestPath.empty();
+  return a.showHelp || !a.inputs.empty() || !a.manifestPath.empty();
 }
 
 /// Appends the manifest's input paths (one per line, blank lines and
@@ -325,7 +382,19 @@ int runBatch(const Args& a) {
     jobs.push_back({path, buf.str(), a.options});
   }
 
-  const roccc::CompileService service(a.jobs);
+  roccc::CompileService service(a.jobs);
+  std::shared_ptr<roccc::CompileCache> cache;
+  if (a.cacheEnabled) {
+    roccc::CacheConfig cfg;
+    if (a.cacheBytes > 0) cfg.maxBytes = a.cacheBytes;
+    cfg.diskDir = a.cacheDir;
+    cache = std::make_shared<roccc::CompileCache>(cfg);
+    service.setCache(cache);
+    if (!a.cacheDir.empty() && !cache->diskEnabled()) {
+      std::fprintf(stderr, "error: cannot use cache directory '%s'\n", a.cacheDir.c_str());
+      return 1;
+    }
+  }
   const roccc::BatchResult batch = service.compileBatch(jobs);
 
   int failures = 0;
@@ -363,6 +432,30 @@ int runBatch(const Args& a) {
                 batch.succeeded(), jobs.size(), batch.workers, batch.wallMs,
                 batch.kernelsPerSecond());
     std::printf("batch outcomes: %s\n", batch.outcomeSummary().c_str());
+    if (cache) {
+      const roccc::CacheStats cs = cache->stats();
+      std::printf("batch cache: %d hits, %d misses (%lld coalesced, %lld evicted, "
+                  "%lld disk loads, %lld disk stores)\n",
+                  batch.cacheHits, batch.cacheMisses, static_cast<long long>(cs.coalesced),
+                  static_cast<long long>(cs.evictions), static_cast<long long>(cs.diskHits),
+                  static_cast<long long>(cs.diskStores));
+    }
+  }
+  if (!a.statsJsonPath.empty()) {
+    std::ofstream sout(a.statsJsonPath);
+    if (!sout) {
+      std::fprintf(stderr, "error: cannot write '%s'\n", a.statsJsonPath.c_str());
+      return 1;
+    }
+    std::ostringstream json;
+    json << "{\n  \"batch\": {\"jobs\": " << jobs.size() << ", \"ok\": " << batch.succeeded()
+         << ", \"workers\": " << batch.workers << ", \"wallMs\": " << batch.wallMs
+         << ", \"cacheHits\": " << batch.cacheHits << ", \"cacheMisses\": " << batch.cacheMisses
+         << "}";
+    if (cache) json << ",\n  \"cache\": " << cache->stats().toJson();
+    json << "\n}\n";
+    sout << json.str();
+    if (!a.quiet) std::printf("wrote %s\n", a.statsJsonPath.c_str());
   }
   return firstFailureExit;
 }
@@ -391,6 +484,10 @@ roccc::interp::KernelIO randomInputs(const roccc::hlir::KernelInfo& k, uint64_t 
 int main(int argc, char** argv) {
   Args a;
   if (!parseArgs(argc, argv, a)) return usage(argv[0]);
+  if (a.showHelp) {
+    printHelp(argv[0]);
+    return 0;
+  }
   if (!a.manifestPath.empty() && !readManifest(a.manifestPath, a.inputs)) return 1;
   if (a.inputs.empty()) return usage(argv[0]);
   // ROCCC_FAULT_INJECT: the environment spelling of --inject-fault, for
