@@ -13,6 +13,181 @@ double SystemStats::steadyStateThroughput() const {
   return static_cast<double>(outputElems) / static_cast<double>(enabledCycles);
 }
 
+PortBinding PortBinding::resolve(const hlir::KernelInfo& kernel, const dp::DataPath& dp) {
+  PortBinding b;
+  for (const auto& port : dp.inputs) {
+    InSource src;
+    bool found = false;
+    for (size_t s = 0; s < kernel.inputs.size() && !found; ++s) {
+      const auto& st = kernel.inputs[s];
+      for (size_t a = 0; a < st.scalarNames.size(); ++a) {
+        if (st.scalarNames[a] == port.name) {
+          src.kind = InSource::Kind::Window;
+          src.stream = s;
+          src.access = a;
+          found = true;
+          break;
+        }
+      }
+    }
+    if (!found) {
+      for (const auto& si : kernel.scalarInputs) {
+        if (si.name != port.name) continue;
+        if (si.isInduction) {
+          src.kind = InSource::Kind::Induction;
+          src.loop = si.loop;
+        } else {
+          src.kind = InSource::Kind::Scalar;
+          src.scalarName = si.name;
+        }
+        found = true;
+        break;
+      }
+    }
+    if (!found) throw std::runtime_error(fmt("no source for data-path input '%0'", port.name));
+    b.inputs.push_back(std::move(src));
+  }
+  for (const auto& port : dp.outputs) {
+    OutSink sink;
+    bool found = false;
+    for (size_t s = 0; s < kernel.outputs.size() && !found; ++s) {
+      const auto& st = kernel.outputs[s];
+      for (size_t a = 0; a < st.scalarNames.size(); ++a) {
+        if (st.scalarNames[a] == port.name) {
+          sink.kind = OutSink::Kind::Window;
+          sink.stream = s;
+          sink.access = a;
+          found = true;
+          break;
+        }
+      }
+    }
+    if (!found) {
+      sink.kind = OutSink::Kind::Scalar;
+      sink.scalarName = port.name;
+    }
+    b.outputs.push_back(std::move(sink));
+  }
+  return b;
+}
+
+StreamTrace traceStreamingModel(const hlir::KernelInfo& kernel, const dp::DataPath& dp,
+                                const interp::KernelIO& io, const StreamStep& step) {
+  const PortBinding binding = PortBinding::resolve(kernel, dp);
+  StreamTrace trace;
+
+  // Array storage by name; output arrays are zero-initialized (matching the
+  // output BRAMs of the cycle-accurate system).
+  std::map<std::string, std::vector<int64_t>> arrays;
+  for (const auto& st : kernel.inputs) {
+    const auto it = io.arrays.find(st.arrayName);
+    if (it == io.arrays.end()) {
+      throw std::runtime_error(fmt("input array '%0' not bound", st.arrayName));
+    }
+    arrays[st.arrayName] = it->second;
+  }
+  for (const auto& st : kernel.outputs) {
+    int64_t n = 1;
+    for (int64_t d : st.dims) n *= d;
+    arrays[st.arrayName].assign(static_cast<size_t>(n), 0);
+  }
+
+  std::map<std::string, Value> feedback;
+  for (const auto& fb : kernel.feedbacks) feedback[fb.name] = Value::fromInt(fb.type, fb.initial);
+
+  std::map<std::string, int64_t> lastScalarOut;
+
+  IterationWalker walker(kernel.loops);
+  const int64_t total = walker.totalIterations();
+  trace.inputs.reserve(static_cast<size_t>(total));
+  trace.outputs.reserve(static_cast<size_t>(total));
+  for (int64_t t = 0; t < total; ++t) {
+    const auto ivs = walker.ivsAt(t);
+
+    std::vector<Value> inputs(dp.inputs.size());
+    for (size_t p = 0; p < binding.inputs.size(); ++p) {
+      const auto& src = binding.inputs[p];
+      const ScalarType ty = dp.inputs[p].type;
+      switch (src.kind) {
+        case PortBinding::InSource::Kind::Window: {
+          const auto& st = kernel.inputs[src.stream];
+          const auto& data = arrays.at(st.arrayName);
+          const int64_t addr = st.flatAddress(src.access, ivs);
+          if (addr < 0 || addr >= static_cast<int64_t>(data.size())) {
+            throw std::runtime_error(fmt("window address %0 out of '%1' bounds", addr,
+                                         st.arrayName));
+          }
+          inputs[p] = Value::fromInt(ty, data[static_cast<size_t>(addr)]);
+          break;
+        }
+        case PortBinding::InSource::Kind::Scalar: {
+          const auto f = io.scalars.find(src.scalarName);
+          if (f == io.scalars.end()) {
+            throw std::runtime_error(fmt("scalar input '%0' not bound", src.scalarName));
+          }
+          inputs[p] = Value::fromInt(ty, f->second);
+          break;
+        }
+        case PortBinding::InSource::Kind::Induction:
+          inputs[p] = Value::fromInt(ty, ivs[static_cast<size_t>(src.loop)]);
+          break;
+      }
+    }
+
+    auto [outputs, nextFeedback] = step(inputs, feedback);
+    if (outputs.size() != dp.outputs.size()) {
+      throw std::runtime_error(fmt("step produced %0 outputs, %1 ports expected", outputs.size(),
+                                   dp.outputs.size()));
+    }
+
+    for (size_t p = 0; p < binding.outputs.size(); ++p) {
+      const auto& sink = binding.outputs[p];
+      const int64_t v = outputs[p].convertTo(dp.outputs[p].type).toInt();
+      if (sink.kind == PortBinding::OutSink::Kind::Window) {
+        const auto& st = kernel.outputs[sink.stream];
+        auto& data = arrays.at(st.arrayName);
+        const int64_t addr = st.flatAddress(sink.access, ivs);
+        if (addr < 0 || addr >= static_cast<int64_t>(data.size())) {
+          throw std::runtime_error(fmt("window address %0 out of '%1' bounds", addr,
+                                       st.arrayName));
+        }
+        data[static_cast<size_t>(addr)] = v;
+      } else {
+        lastScalarOut[sink.scalarName] = v;
+      }
+    }
+    feedback = std::move(nextFeedback);
+
+    trace.inputs.push_back(std::move(inputs));
+    trace.outputs.push_back(std::move(outputs));
+  }
+
+  for (const auto& st : kernel.outputs) trace.final.arrays[st.arrayName] = arrays.at(st.arrayName);
+  for (const auto& [n, v] : lastScalarOut) trace.final.scalars[n] = v;
+  for (const auto& [n, v] : feedback) trace.final.scalars[n] = v.toInt();
+  trace.finalFeedback = feedback;
+  return trace;
+}
+
+StreamStep interpreterStep(const hlir::KernelInfo& kernel, const dp::DataPath& dp,
+                           interp::Interpreter& sim) {
+  return [&kernel, &dp, &sim](const std::vector<Value>& inputs,
+                              const std::map<std::string, Value>& feedback) {
+    interp::KernelIO it;
+    for (size_t p = 0; p < dp.inputs.size(); ++p) it.scalars[dp.inputs[p].name] = inputs[p].toInt();
+    for (const auto& [name, v] : feedback) it.scalars[name] = v.toInt();
+    const interp::KernelIO r = sim.run(kernel.dpName, it);
+    std::vector<Value> outputs;
+    outputs.reserve(dp.outputs.size());
+    for (const auto& port : dp.outputs) {
+      outputs.push_back(Value::fromInt(port.type, r.scalars.at(port.name)));
+    }
+    std::map<std::string, Value> next;
+    for (const auto& fb : dp.feedbacks) next[fb.name] = Value::fromInt(fb.type, r.scalars.at(fb.name));
+    return std::pair{std::move(outputs), std::move(next)};
+  };
+}
+
 System::System(const hlir::KernelInfo& kernel, const dp::DataPath& dp, const Module& module,
                SystemOptions options)
     : kernel_(kernel), dp_(dp), module_(module), opt_(options) {}
@@ -65,79 +240,19 @@ interp::KernelIO System::run(const interp::KernelIO& io) {
   }
 
   // --- port wiring ----------------------------------------------------------------
-  // dp input port -> source.
-  struct InSource {
-    enum class Kind { Window, Scalar, Induction } kind = Kind::Scalar;
-    size_t stream = 0, access = 0;
-    Value scalar;
-    int loop = 0;
-  };
-  std::vector<InSource> inSources;
-  for (const auto& port : dp_.inputs) {
-    InSource src;
-    bool found = false;
-    for (size_t s = 0; s < kernel_.inputs.size() && !found; ++s) {
-      const auto& st = kernel_.inputs[s];
-      for (size_t a = 0; a < st.scalarNames.size(); ++a) {
-        if (st.scalarNames[a] == port.name) {
-          src.kind = InSource::Kind::Window;
-          src.stream = s;
-          src.access = a;
-          found = true;
-          break;
-        }
-      }
+  // dp port -> system role (shared with the streaming-model tracer and,
+  // through it, the conformance engines and generated testbenches).
+  const PortBinding binding = PortBinding::resolve(kernel_, dp_);
+  // Loop-invariant scalar values, resolved once per run.
+  std::vector<Value> scalarValues(binding.inputs.size());
+  for (size_t p = 0; p < binding.inputs.size(); ++p) {
+    const auto& src = binding.inputs[p];
+    if (src.kind != PortBinding::InSource::Kind::Scalar) continue;
+    const auto it = io.scalars.find(src.scalarName);
+    if (it == io.scalars.end()) {
+      throw std::runtime_error(fmt("scalar input '%0' not bound", src.scalarName));
     }
-    if (!found) {
-      for (const auto& si : kernel_.scalarInputs) {
-        if (si.name != port.name) continue;
-        if (si.isInduction) {
-          src.kind = InSource::Kind::Induction;
-          src.loop = si.loop;
-        } else {
-          const auto it = io.scalars.find(si.name);
-          if (it == io.scalars.end()) {
-            throw std::runtime_error(fmt("scalar input '%0' not bound", si.name));
-          }
-          src.kind = InSource::Kind::Scalar;
-          src.scalar = Value::fromInt(si.type, it->second);
-        }
-        found = true;
-        break;
-      }
-    }
-    if (!found) throw std::runtime_error(fmt("no source for data-path input '%0'", port.name));
-    inSources.push_back(std::move(src));
-  }
-
-  // dp output port -> sink.
-  struct OutSink {
-    enum class Kind { Window, Scalar } kind = Kind::Scalar;
-    size_t stream = 0, access = 0;
-    std::string scalarName;
-  };
-  std::vector<OutSink> outSinks;
-  for (const auto& port : dp_.outputs) {
-    OutSink sink;
-    bool found = false;
-    for (size_t s = 0; s < kernel_.outputs.size() && !found; ++s) {
-      const auto& st = kernel_.outputs[s];
-      for (size_t a = 0; a < st.scalarNames.size(); ++a) {
-        if (st.scalarNames[a] == port.name) {
-          sink.kind = OutSink::Kind::Window;
-          sink.stream = s;
-          sink.access = a;
-          found = true;
-          break;
-        }
-      }
-    }
-    if (!found) {
-      sink.kind = OutSink::Kind::Scalar;
-      sink.scalarName = port.name;
-      found = true;
-    }
-    outSinks.push_back(std::move(sink));
+    scalarValues[p] = Value::fromInt(dp_.inputs[p].type, it->second);
   }
 
   // --- main clock loop ---------------------------------------------------------------
@@ -201,7 +316,7 @@ interp::KernelIO System::run(const interp::KernelIO& io) {
 
     // Valid strobe: high exactly when a real iteration enters the pipe.
     if (!dp_.feedbacks.empty()) {
-      setSimInput(inSources.size(), Value::ofBool(canIssue));
+      setSimInput(binding.inputs.size(), Value::ofBool(canIssue));
     }
     if (canIssue) {
       // Present iteration `issued` to the data path.
@@ -210,16 +325,16 @@ interp::KernelIO System::run(const interp::KernelIO& io) {
         windows[b] = buffers[b]->window(inBrams[b], issued);
       }
       const auto ivs = walker.ivsAt(issued);
-      for (size_t p = 0; p < inSources.size(); ++p) {
-        const InSource& src = inSources[p];
+      for (size_t p = 0; p < binding.inputs.size(); ++p) {
+        const auto& src = binding.inputs[p];
         switch (src.kind) {
-          case InSource::Kind::Window:
+          case PortBinding::InSource::Kind::Window:
             setSimInput(p, windows[src.stream][src.access]);
             break;
-          case InSource::Kind::Scalar:
-            setSimInput(p, src.scalar);
+          case PortBinding::InSource::Kind::Scalar:
+            setSimInput(p, scalarValues[p]);
             break;
-          case InSource::Kind::Induction:
+          case PortBinding::InSource::Kind::Induction:
             setSimInput(p, Value::ofInt(ivs[static_cast<size_t>(src.loop)]));
             break;
         }
@@ -244,10 +359,10 @@ interp::KernelIO System::run(const interp::KernelIO& io) {
         for (size_t s = 0; s < kernel_.outputs.size(); ++s) {
           outWindows[s].assign(kernel_.outputs[s].scalarNames.size(), Value());
         }
-        for (size_t p = 0; p < outSinks.size(); ++p) {
-          const OutSink& sink = outSinks[p];
+        for (size_t p = 0; p < binding.outputs.size(); ++p) {
+          const auto& sink = binding.outputs[p];
           const Value v = simOutput(p);
-          if (sink.kind == OutSink::Kind::Window) {
+          if (sink.kind == PortBinding::OutSink::Kind::Window) {
             outWindows[sink.stream][sink.access] = v;
           } else {
             scalarOuts[sink.scalarName] = v.toInt();

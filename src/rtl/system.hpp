@@ -2,8 +2,19 @@
 // buffers -> fully pipelined data path -> output collector -> output BRAMs,
 // sequenced by the controller. Simulation is cycle-accurate: throughput and
 // memory-traffic numbers reported by the benches come from here.
+//
+// Two building blocks are exposed separately from the cycle-accurate System
+// because the conformance engine (roccc/verify.*) and the testbench
+// generator (vhdl/testbench.*) need the same semantics without the timing:
+//   - PortBinding: the resolution of every data-path port to its system
+//     role (stream-window access, loop-invariant scalar, live induction
+//     value, window write-back, scalar out),
+//   - traceStreamingModel: the untimed streaming model (Fig 2 minus the
+//     clock) parameterized by a per-iteration step function, recording the
+//     exact per-iteration port vectors any engine must reproduce.
 #pragma once
 
+#include <functional>
 #include <map>
 #include <memory>
 #include <string>
@@ -18,6 +29,57 @@
 #include "support/diag.hpp"
 
 namespace roccc::rtl {
+
+/// Resolution of every data-path port to its role in the Fig 2 system.
+/// Independent of any particular input binding; throws std::runtime_error
+/// when a port cannot be matched to the kernel (a compiler invariant).
+struct PortBinding {
+  struct InSource {
+    enum class Kind { Window, Scalar, Induction } kind = Kind::Scalar;
+    size_t stream = 0, access = 0; ///< Window: kernel.inputs[stream], access
+    std::string scalarName;        ///< Scalar: io.scalars key
+    int loop = 0;                  ///< Induction: kernel.loops index
+  };
+  struct OutSink {
+    enum class Kind { Window, Scalar } kind = Kind::Scalar;
+    size_t stream = 0, access = 0; ///< Window: kernel.outputs[stream], access
+    std::string scalarName;        ///< Scalar: result scalar name
+  };
+  std::vector<InSource> inputs;  ///< one per dp input port, in port order
+  std::vector<OutSink> outputs;  ///< one per dp output port, in port order
+
+  static PortBinding resolve(const hlir::KernelInfo& kernel, const dp::DataPath& dp);
+};
+
+/// One iteration of the data-path function: port-ordered input values and
+/// the current feedback-register values in; port-ordered output values and
+/// the next feedback values out. Implementations: the AST interpreter on
+/// the extracted data-path function, mir::execute, dp::evaluate.
+using StreamStep = std::function<std::pair<std::vector<Value>, std::map<std::string, Value>>(
+    const std::vector<Value>& inputs, const std::map<std::string, Value>& feedback)>;
+
+/// The per-iteration record of a streaming-model run: the exact stimulus
+/// and response any conforming engine (or generated testbench) must
+/// reproduce, plus the final kernel-level results.
+struct StreamTrace {
+  std::vector<std::vector<Value>> inputs;   ///< per iteration, by dp input port
+  std::vector<std::vector<Value>> outputs;  ///< per iteration, by dp output port
+  interp::KernelIO final;                   ///< same shape as System::run
+  std::map<std::string, Value> finalFeedback; ///< post-run register values
+};
+
+/// Runs the untimed streaming model over the whole iteration space: gathers
+/// each input window per PortBinding, calls `step`, scatters output windows
+/// and threads feedback. Throws std::runtime_error on unbound arrays.
+StreamTrace traceStreamingModel(const hlir::KernelInfo& kernel, const dp::DataPath& dp,
+                                const interp::KernelIO& io, const StreamStep& step);
+
+/// The AST-interpreter step: runs the extracted data-path function through
+/// `sim` (which must wrap kernel.dpModule and outlive the returned closure).
+/// This is the golden per-iteration semantics both the conformance engine
+/// and the system-level testbench generator drive.
+StreamStep interpreterStep(const hlir::KernelInfo& kernel, const dp::DataPath& dp,
+                           interp::Interpreter& sim);
 
 struct SystemOptions {
   int inputBusElems = 1;   ///< elements each smart buffer fetches per clock

@@ -1,0 +1,53 @@
+// SplitMix64: a tiny, fully specified PRNG for every place the library
+// needs *reproducible* pseudo-random data — conformance stimulus, testbench
+// extras. Unlike std::uniform_int_distribution (whose output is
+// implementation-defined), the sequence here is identical on every
+// platform, compiler, and standard library, so a recorded seed pins the
+// exact vectors forever.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace roccc {
+
+struct SplitMix64 {
+  uint64_t state = 0;
+
+  explicit SplitMix64(uint64_t seed = 0) : state(seed) {}
+
+  uint64_t next() {
+    state += 0x9e3779b97f4a7c15ULL;
+    uint64_t z = state;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+  /// Uniform-ish draw in [lo, hi] (modulo reduction; the bias is irrelevant
+  /// for stimulus purposes and keeps the mapping trivially portable).
+  int64_t inRange(int64_t lo, int64_t hi) {
+    const uint64_t span = static_cast<uint64_t>(hi) - static_cast<uint64_t>(lo) + 1;
+    if (span == 0) return static_cast<int64_t>(next()); // full 64-bit range
+    return static_cast<int64_t>(static_cast<uint64_t>(lo) + next() % span);
+  }
+};
+
+/// FNV-1a, for mixing names into seeds and digesting result streams.
+inline uint64_t fnv1a(std::string_view s, uint64_t h = 0xcbf29ce484222325ULL) {
+  for (const char c : s) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+inline uint64_t fnv1aMix(uint64_t v, uint64_t h) {
+  for (int i = 0; i < 8; ++i) {
+    h ^= (v >> (8 * i)) & 0xff;
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+} // namespace roccc

@@ -1,14 +1,33 @@
 // VHDL testbench generation: wraps the emitted data-path design in a
-// self-checking testbench whose stimulus and expected responses come from
-// the cycle-accurate cosimulation. A downstream user can hand the emitted
-// design plus this testbench straight to a VHDL simulator and reproduce
-// the library's bit-exact verification there.
+// self-checking testbench a downstream user can hand straight to a VHDL
+// simulator and reproduce the library's bit-exact verification there.
+//
+// Two levels exist:
+//   - makeVectors/emitTestbench: datapath-level, caller-supplied input sets
+//     with dp::evaluate expectations (feedback threaded across vectors);
+//   - makeSystemVectors/emitSystemTestbench: system-level — the stimulus is
+//     the kernel's whole iteration space gathered per the Fig 2 streaming
+//     model (windows, scalars, live induction values), and the expected
+//     outputs come from the AST interpreter running the extracted data-path
+//     function. Optional seeded random extra vectors extend the sequence
+//     past the iteration space; the seed is recorded in the testbench
+//     header so any emitted file pins its exact vectors.
+//
+// simulateTestbench replays the emitted testbench's schedule (stimulus held
+// during the pipeline flush, assertions sampling pre-edge values, tb_valid
+// high throughout) on a netlist engine, so a ctest can assert the generated
+// file would report "TESTBENCH PASSED" without an external VHDL simulator.
 #pragma once
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
 #include "dp/datapath.hpp"
+#include "hlir/kernel.hpp"
+#include "interp/interp.hpp"
+#include "rtl/netlist.hpp"
+#include "rtl/fastsim.hpp"
 #include "support/value.hpp"
 
 namespace roccc::vhdl {
@@ -18,6 +37,15 @@ namespace roccc::vhdl {
 struct TestVector {
   std::vector<Value> inputs;
   std::vector<Value> expectedOutputs;
+};
+
+/// Provenance of a system-level vector set, recorded in the emitted
+/// testbench header.
+struct TestbenchInfo {
+  std::string kernelName;
+  int64_t traceVectors = 0; ///< interpreter-derived (one per loop iteration)
+  int extraVectors = 0;     ///< seeded random extras appended after the trace
+  uint64_t seed = 0;        ///< SplitMix64 seed of the extras (0 when none)
 };
 
 /// Emits a self-checking testbench entity `<design>_tb` that drives the
@@ -30,5 +58,37 @@ std::string emitTestbench(const dp::DataPath& dp, const std::vector<TestVector>&
 /// behaves like consecutive loop iterations).
 std::vector<TestVector> makeVectors(const dp::DataPath& dp,
                                     const std::vector<std::vector<int64_t>>& inputSets);
+
+/// Builds the system-level vector set: the whole iteration space of the
+/// kernel executed by the AST interpreter on the extracted data-path
+/// function (stimulus gathered per the streaming model: input windows,
+/// loop-invariant scalars, live induction values; feedback threaded), plus
+/// `extraRandom` seeded random vectors continuing the feedback sequence.
+/// Fills `info` with the provenance when non-null.
+std::vector<TestVector> makeSystemVectors(const hlir::KernelInfo& kernel, const dp::DataPath& dp,
+                                          const interp::KernelIO& io, int extraRandom,
+                                          uint64_t seed, TestbenchInfo* info = nullptr);
+
+/// emitTestbench plus a provenance header: kernel name, loop structure,
+/// vector counts, and the extras seed.
+std::string emitSystemTestbench(const dp::DataPath& dp, const hlir::KernelInfo& kernel,
+                                const std::vector<TestVector>& vectors,
+                                const TestbenchInfo& info);
+
+/// Outcome of replaying a testbench schedule on a netlist engine.
+struct TestbenchSimResult {
+  bool passed = false;
+  std::string firstFailure; ///< first failing assertion, empty when passed
+};
+
+/// Replays the exact schedule the emitted testbench executes — per-cycle
+/// stimulus (held at the last vector during the flush), tb_valid high,
+/// assertions reading pre-edge values latency cycles after presentation —
+/// on the compiled module under the given engine. `passed` iff the VHDL
+/// testbench would report "TESTBENCH PASSED" under the reference netlist
+/// semantics.
+TestbenchSimResult simulateTestbench(const dp::DataPath& dp, const rtl::Module& module,
+                                     const std::vector<TestVector>& vectors,
+                                     rtl::SimEngine engine);
 
 } // namespace roccc::vhdl

@@ -1,0 +1,17 @@
+/* Absolute-value reduction: conditional negation feeding a feedback
+   accumulator, with the running sum streamed out and exported. */
+int24 acc = 0;
+void abs_energy(const int12 X[64], int24 E[64], int24* total) {
+  int i;
+  int12 a;
+  for (i = 0; i < 64; i++) {
+    if (X[i] < 0) {
+      a = 0 - X[i];
+    } else {
+      a = X[i];
+    }
+    acc = acc + a;
+    E[i] = acc;
+  }
+  *total = acc;
+}

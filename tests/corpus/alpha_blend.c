@@ -1,0 +1,7 @@
+/* Two input streams blended by a runtime alpha scalar. */
+void alpha_blend(const uint8 A[64], const uint8 B[64], uint8 alpha, uint8 C[64]) {
+  int i;
+  for (i = 0; i < 64; i++) {
+    C[i] = (alpha * A[i] + (255 - alpha) * B[i]) >> 8;
+  }
+}

@@ -1,0 +1,12 @@
+/* 3x3 box average: 2-D smart-buffer window feeding a constant divider. */
+void box3x3(const uint8 P[18][18], uint8 B[16][16]) {
+  int i;
+  int j;
+  for (i = 0; i < 16; i++) {
+    for (j = 0; j < 16; j++) {
+      B[i][j] = (P[i][j]   + P[i][j+1]   + P[i][j+2]
+               + P[i+1][j] + P[i+1][j+1] + P[i+1][j+2]
+               + P[i+2][j] + P[i+2][j+1] + P[i+2][j+2]) / 9;
+    }
+  }
+}

@@ -1,0 +1,18 @@
+/* Scale by a runtime scalar, saturate to int12 range: nested conditionals
+   in the loop body become a mux tree. */
+void clamp_scale(const int10 A[64], int8 gain, int16 C[64]) {
+  int i;
+  int22 t;
+  for (i = 0; i < 64; i++) {
+    t = A[i] * gain;
+    if (t > 2047) {
+      C[i] = 2047;
+    } else {
+      if (t < -2048) {
+        C[i] = -2048;
+      } else {
+        C[i] = t;
+      }
+    }
+  }
+}

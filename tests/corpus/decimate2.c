@@ -1,0 +1,8 @@
+/* Decimate by two with averaging: stride-2 window advance (dimension
+   coefficient 2), halving the output rate relative to the input. */
+void decimate2(const int12 A[128], int12 C[64]) {
+  int i;
+  for (i = 0; i < 64; i++) {
+    C[i] = (A[2*i] + A[2*i+1]) >> 1;
+  }
+}

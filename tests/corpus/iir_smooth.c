@@ -1,0 +1,10 @@
+/* First-order IIR smoother: the accumulator is a feedback register read
+   and written every iteration (LPR/SNX pair). */
+int20 acc = 0;
+void iir_smooth(const int12 X[64], int12 Y[64]) {
+  int i;
+  for (i = 0; i < 64; i++) {
+    acc = acc - (acc >> 3) + X[i];
+    Y[i] = acc >> 3;
+  }
+}

@@ -1,0 +1,35 @@
+/* Median of a 3-wide window via a full nested-conditional decision tree. */
+void median3(const int12 A[66], int12 M[64]) {
+  int i;
+  int12 x;
+  int12 y;
+  int12 z;
+  int12 m;
+  for (i = 0; i < 64; i++) {
+    x = A[i];
+    y = A[i+1];
+    z = A[i+2];
+    if (x > y) {
+      if (y > z) {
+        m = y;
+      } else {
+        if (x > z) {
+          m = z;
+        } else {
+          m = x;
+        }
+      }
+    } else {
+      if (x > z) {
+        m = x;
+      } else {
+        if (y > z) {
+          m = z;
+        } else {
+          m = y;
+        }
+      }
+    }
+    M[i] = m;
+  }
+}

@@ -1,0 +1,25 @@
+/* Window min and max: one input window fanned out to two output streams,
+   with conditional reassignment chains. */
+void minmax3(const int12 A[66], int12 MN[64], int12 MX[64]) {
+  int i;
+  int12 mn;
+  int12 mx;
+  for (i = 0; i < 64; i++) {
+    mn = A[i];
+    mx = A[i];
+    if (A[i+1] < mn) {
+      mn = A[i+1];
+    }
+    if (A[i+2] < mn) {
+      mn = A[i+2];
+    }
+    if (A[i+1] > mx) {
+      mx = A[i+1];
+    }
+    if (A[i+2] > mx) {
+      mx = A[i+2];
+    }
+    MN[i] = mn;
+    MX[i] = mx;
+  }
+}

@@ -1,0 +1,13 @@
+/* Running maximum: a feedback register updated under a condition, streamed
+   out per iteration and exported after the last one. */
+int16 mx = -32768;
+void running_max(const int16 A[64], int16 M[64], int16* last) {
+  int i;
+  for (i = 0; i < 64; i++) {
+    if (A[i] > mx) {
+      mx = A[i];
+    }
+    M[i] = mx;
+  }
+  *last = mx;
+}

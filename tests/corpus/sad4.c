@@ -1,0 +1,28 @@
+/* Sum of absolute differences over a 4-wide window of two streams, one
+   conditional negation per tap (a mux tree feeding an adder tree). */
+void sad4(const uint8 A[67], const uint8 B[67], uint12 S[64]) {
+  int i;
+  int10 d0;
+  int10 d1;
+  int10 d2;
+  int10 d3;
+  for (i = 0; i < 64; i++) {
+    d0 = A[i]   - B[i];
+    d1 = A[i+1] - B[i+1];
+    d2 = A[i+2] - B[i+2];
+    d3 = A[i+3] - B[i+3];
+    if (d0 < 0) {
+      d0 = 0 - d0;
+    }
+    if (d1 < 0) {
+      d1 = 0 - d1;
+    }
+    if (d2 < 0) {
+      d2 = 0 - d2;
+    }
+    if (d3 < 0) {
+      d3 = 0 - d3;
+    }
+    S[i] = d0 + d1 + d2 + d3;
+  }
+}

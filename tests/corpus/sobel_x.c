@@ -1,0 +1,12 @@
+/* Horizontal Sobel gradient: nested loop, 3x3 2-D window, signed arith. */
+void sobel_x(const int10 P[34][34], int14 G[32][32]) {
+  int i;
+  int j;
+  for (i = 0; i < 32; i++) {
+    for (j = 0; j < 32; j++) {
+      G[i][j] = P[i][j+2] - P[i][j]
+              + 2 * (P[i+1][j+2] - P[i+1][j])
+              + P[i+2][j+2] - P[i+2][j];
+    }
+  }
+}

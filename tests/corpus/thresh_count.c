@@ -1,0 +1,12 @@
+/* Counts elements above a runtime threshold: scalar input plus a feedback
+   counter that wraps at its 8-bit width. */
+uint8 cnt = 0;
+void thresh_count(const int12 A[64], int12 t, uint8* n) {
+  int i;
+  for (i = 0; i < 64; i++) {
+    if (A[i] > t) {
+      cnt = cnt + 1;
+    }
+  }
+  *n = cnt;
+}

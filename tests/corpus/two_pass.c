@@ -1,0 +1,11 @@
+/* Two adjacent loops over the same space: the fuse-adjacent-loops
+   transform merges them into one streaming loop with two outputs. */
+void two_pass(const int10 A[64], int12 C[64], int12 D[64]) {
+  int i;
+  for (i = 0; i < 64; i++) {
+    C[i] = A[i] * 3;
+  }
+  for (i = 0; i < 64; i++) {
+    D[i] = A[i] + 100;
+  }
+}

@@ -22,11 +22,20 @@
 //   --mult-style S     'lut' (default) or 'mult18'
 //   --no-infer         disable bit-width inference
 //   --no-pipeline      single combinational stage
-//   --testbench        also write <output>_tb.vhd with random vectors
+//   --testbench        also write <output>_tb.vhd: a system-level
+//                      self-checking testbench whose stimulus and expected
+//                      outputs come from the AST interpreter over the
+//                      kernel's full iteration space (deterministic), and
+//                      which is cross-checked against the --sim-engine
+//                      netlist engine before it is written
+//   --tb-seed N        with --testbench: append 16 seeded random extra
+//                      vectors (SplitMix64 seed N, recorded in the
+//                      testbench header comment)
 //   --cosim            run the cycle-accurate system on random inputs and
 //                      verify against the interpreter
-//   --sim-engine E     netlist engine for --cosim: 'fast' (compiled,
-//                      default) or 'ref' (boxed-Value reference)
+//   --sim-engine E     netlist engine for --cosim and the --testbench
+//                      cross-check: 'fast' (compiled, default) or 'ref'
+//                      (boxed-Value reference)
 //   --vcd FILE         with --cosim: dump a VCD waveform of the run
 //   --verilog FILE     also write the Verilog form of the design
 //   --json FILE        export the data-path graph as JSON (Fig 1's graph
@@ -86,6 +95,7 @@
 #include "roccc/cache.hpp"
 #include "roccc/compiler.hpp"
 #include "roccc/driver.hpp"
+#include "roccc/verify.hpp"
 #include "synth/estimate.hpp"
 #include "vhdl/check.hpp"
 #include "vhdl/testbench.hpp"
@@ -100,6 +110,8 @@ struct Args {
   std::string output;
   roccc::CompileOptions options;
   bool testbench = false;
+  uint64_t tbSeed = 0;
+  bool tbSeedSet = false;
   bool cosim = false;
   roccc::rtl::SimEngine engine = roccc::rtl::SimEngine::Fast;
   std::string vcdPath;
@@ -166,11 +178,18 @@ const std::vector<OptionSpec>& optionTable() {
        [](Args& a, const char*) { a.options.dpOptions.inferBitWidths = false; return true; }},
       {"--no-pipeline", nullptr, "single combinational stage (no pipelining)",
        [](Args& a, const char*) { a.options.dpOptions.pipeline = false; return true; }},
-      {"--testbench", nullptr, "also write <output>_tb.vhd with random vectors",
+      {"--testbench", nullptr, "also write <output>_tb.vhd (system-level, interpreter-derived vectors)",
        [](Args& a, const char*) { a.testbench = true; return true; }},
+      {"--tb-seed", "N", "with --testbench: append 16 seeded random vectors (seed in header)",
+       [](Args& a, const char* v) {
+         char* end = nullptr;
+         a.tbSeed = std::strtoull(v, &end, 0);
+         a.tbSeedSet = true;
+         return end != v && *end == '\0';
+       }},
       {"--cosim", nullptr, "run the RTL system and verify against the interpreter",
        [](Args& a, const char*) { a.cosim = true; return true; }},
-      {"--sim-engine", "E", "netlist engine for --cosim: 'fast' (default) or 'ref'",
+      {"--sim-engine", "E", "netlist engine for --cosim and the --testbench check: 'fast' or 'ref'",
        [](Args& a, const char* v) {
          if (std::strcmp(v, "ref") == 0 || std::strcmp(v, "reference") == 0) {
            a.engine = SimEngine::Reference;
@@ -583,24 +602,34 @@ int main(int argc, char** argv) {
   }
 
   if (a.testbench) {
-    std::vector<std::vector<int64_t>> sets;
-    std::mt19937_64 rng(42);
-    for (int t = 0; t < 16; ++t) {
-      std::vector<int64_t> set;
-      for (const auto& p : r.datapath.inputs) {
-        std::uniform_int_distribution<int64_t> dist(p.type.minValue(), p.type.maxValue());
-        set.push_back(dist(rng));
-      }
-      sets.push_back(std::move(set));
+    // System-level vectors: the full iteration space through the AST
+    // interpreter (deterministic — the same kernel always gets the same
+    // testbench), plus optional --tb-seed extras. Before writing, the
+    // vector set is replayed on the selected --sim-engine netlist engine,
+    // so the emitted file is known to self-report "TESTBENCH PASSED".
+    const auto io = roccc::deterministicStimulus(r.kernel, roccc::VerifyOptions{}.seed);
+    const int extras = a.tbSeedSet ? 16 : 0;
+    roccc::vhdl::TestbenchInfo info;
+    const auto vectors =
+        roccc::vhdl::makeSystemVectors(r.kernel, r.datapath, io, extras, a.tbSeed, &info);
+    const auto sim = roccc::vhdl::simulateTestbench(r.datapath, r.module, vectors, a.engine);
+    if (!sim.passed) {
+      std::fprintf(stderr, "internal: testbench self-check failed: %s\n",
+                   sim.firstFailure.c_str());
+      return 5;
     }
-    const auto vectors = roccc::vhdl::makeVectors(r.datapath, sets);
     std::string tbPath = a.output;
     const size_t dot = tbPath.rfind('.');
     if (dot != std::string::npos) tbPath.resize(dot);
     tbPath += "_tb.vhd";
     std::ofstream tb(tbPath);
-    tb << roccc::vhdl::emitTestbench(r.datapath, vectors);
-    if (!a.quiet) std::printf("wrote %s (16 vectors)\n", tbPath.c_str());
+    tb << roccc::vhdl::emitSystemTestbench(r.datapath, r.kernel, vectors, info);
+    if (!a.quiet) {
+      std::printf("wrote %s (%lld interpreter-derived + %d seeded vectors, checked on the "
+                  "%s engine)\n",
+                  tbPath.c_str(), static_cast<long long>(info.traceVectors), info.extraVectors,
+                  roccc::rtl::simEngineName(a.engine));
+    }
   }
 
   if (!a.quiet) {

@@ -1,0 +1,328 @@
+// roccc-verify — N-way differential conformance over a kernel corpus.
+//
+//   roccc-verify [options] [kernel.c ...]
+//
+// For every kernel (positional files, --table1, --corpus DIR — crossed with
+// every --unroll factor), compiles through roccc::CompileService and demands
+// that all execution engines produce bit-identical results on the same
+// deterministic stimulus:
+//
+//   interp       AST interpreter, original source vs the streaming model
+//   mir-exec     mir::execute per iteration
+//   dp-eval      dp::evaluate per iteration (inferred widths)
+//   netlist-ref  cycle-accurate system under NetlistSim (reference)
+//   fastsim      cycle-accurate system under FastSim (compiled)
+//
+// Any disagreement is reported as a minimized counterexample: kernel, first
+// diverging vector index, engine and port — and, when the two netlist
+// engines diverge from each other, the first diverging net and cycle.
+//
+// Options:
+//   --table1            add the nine Table 1 kernels
+//   --corpus DIR        add every .c kernel in DIR (sorted)
+//   --unroll LIST       comma-separated unroll factors (default "1")
+//   --seed N            stimulus seed (default 0x0dc52005)
+//   --jobs N            compile workers (0 = one per hardware thread)
+//   --engines LIST      comma list of engines to run (default: all five)
+//   --testbench-check   also generate each kernel's system-level testbench
+//                       and replay it under both netlist engines
+//   --soak N            fault-injection soak: N rounds re-running the batch
+//                       with one armed fault point per round, asserting the
+//                       sibling verdicts stay identical to the clean run
+//   --json FILE         write the full JSON report (the CI disagreement
+//                       artifact)
+//   --quiet             only the summary and any disagreements
+//
+// Exit codes: 0 all engines agree on every kernel; 1 disagreement (or soak
+// poisoning); 2 usage; 3 compile failure(s) with no disagreement.
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "../bench/kernels.hpp"
+#include "roccc/verify.hpp"
+#include "support/faultpoint.hpp"
+#include "support/strings.hpp"
+
+namespace {
+
+struct Args {
+  std::vector<std::string> inputs;
+  bool table1 = false;
+  std::string corpusDir;
+  std::vector<int> unrolls = {1};
+  roccc::VerifyOptions verify;
+  int soakRounds = 0;
+  std::string jsonPath;
+  bool quiet = false;
+  bool showHelp = false;
+};
+
+int usage() {
+  std::fprintf(stderr, "usage: roccc-verify [options] [kernel.c ...]\n"
+                       "       roccc-verify --help for the option list\n");
+  return 2;
+}
+
+void printHelp() {
+  std::printf(
+      "usage: roccc-verify [options] [kernel.c ...]\n\n"
+      "Differential conformance: every kernel is compiled and executed by up to five\n"
+      "independent engines (interp, mir-exec, dp-eval, netlist-ref, fastsim) on the\n"
+      "same deterministic stimulus; any disagreement is a minimized counterexample.\n\n"
+      "options:\n"
+      "  --table1            add the nine Table 1 kernels\n"
+      "  --corpus DIR        add every .c kernel in DIR (sorted)\n"
+      "  --unroll LIST       comma-separated unroll factors (default \"1\")\n"
+      "  --seed N            stimulus seed (default 0x0dc52005)\n"
+      "  --jobs N            compile workers (0 = one per hardware thread)\n"
+      "  --engines LIST      comma list of engines (default: all five)\n"
+      "  --testbench-check   also replay each generated system testbench\n"
+      "  --soak N            fault-injection soak rounds (sibling isolation)\n"
+      "  --json FILE         write the full JSON report\n"
+      "  --quiet             only the summary and any disagreements\n\n"
+      "exit codes: 0 agree, 1 disagreement, 2 usage, 3 compile failure\n");
+}
+
+bool parseEngines(const std::string& list, unsigned& mask) {
+  mask = 0;
+  std::stringstream ss(list);
+  std::string item;
+  while (std::getline(ss, item, ',')) {
+    bool found = false;
+    for (int e = 0; e < roccc::kVerifyEngineCount; ++e) {
+      if (item == roccc::verifyEngineName(static_cast<roccc::VerifyEngine>(e))) {
+        mask |= 1u << e;
+        found = true;
+        break;
+      }
+    }
+    if (!found) {
+      std::fprintf(stderr, "error: unknown engine '%s'\n", item.c_str());
+      return false;
+    }
+  }
+  return mask != 0;
+}
+
+bool parseUnrolls(const std::string& list, std::vector<int>& out) {
+  out.clear();
+  std::stringstream ss(list);
+  std::string item;
+  while (std::getline(ss, item, ',')) {
+    const int u = std::atoi(item.c_str());
+    if (u < 1) return false;
+    out.push_back(u);
+  }
+  return !out.empty();
+}
+
+bool parseArgs(int argc, char** argv, Args& a) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    const auto value = [&]() -> const char* { return i + 1 < argc ? argv[++i] : nullptr; };
+    if (arg.empty() || arg[0] != '-') {
+      a.inputs.push_back(arg);
+    } else if (arg == "--help") {
+      a.showHelp = true;
+    } else if (arg == "--table1") {
+      a.table1 = true;
+    } else if (arg == "--corpus") {
+      const char* v = value();
+      if (!v) return false;
+      a.corpusDir = v;
+    } else if (arg == "--unroll") {
+      const char* v = value();
+      if (!v || !parseUnrolls(v, a.unrolls)) return false;
+    } else if (arg == "--seed") {
+      const char* v = value();
+      if (!v) return false;
+      a.verify.seed = std::strtoull(v, nullptr, 0);
+    } else if (arg == "--jobs") {
+      const char* v = value();
+      if (!v) return false;
+      a.verify.workers = std::atoi(v);
+    } else if (arg == "--engines") {
+      const char* v = value();
+      if (!v || !parseEngines(v, a.verify.engineMask)) return false;
+    } else if (arg == "--testbench-check") {
+      a.verify.checkTestbench = true;
+    } else if (arg == "--soak") {
+      const char* v = value();
+      if (!v) return false;
+      a.soakRounds = std::atoi(v);
+      if (a.soakRounds < 1) return false;
+    } else if (arg == "--json") {
+      const char* v = value();
+      if (!v) return false;
+      a.jsonPath = v;
+    } else if (arg == "--quiet") {
+      a.quiet = true;
+    } else {
+      std::fprintf(stderr, "error: unknown option '%s'\n", arg.c_str());
+      return false;
+    }
+  }
+  return true;
+}
+
+bool collectJobs(const Args& a, std::vector<roccc::CompileJob>& jobs) {
+  struct SourceEntry {
+    std::string name;
+    std::string source;
+    double targetNs = 0;
+  };
+  std::vector<SourceEntry> sources;
+  if (a.table1) {
+    for (const auto& k : roccc::bench::kTable1Kernels) {
+      sources.push_back({k.name, k.source, k.targetStageDelayNs});
+    }
+  }
+  if (!a.corpusDir.empty()) {
+    namespace fs = std::filesystem;
+    if (!fs::is_directory(a.corpusDir)) {
+      std::fprintf(stderr, "error: '%s' is not a directory\n", a.corpusDir.c_str());
+      return false;
+    }
+    std::vector<fs::path> files;
+    for (const auto& e : fs::directory_iterator(a.corpusDir)) {
+      if (e.path().extension() == ".c") files.push_back(e.path());
+    }
+    std::sort(files.begin(), files.end());
+    for (const auto& p : files) {
+      std::ifstream in(p);
+      std::ostringstream buf;
+      buf << in.rdbuf();
+      sources.push_back({p.stem().string(), buf.str(), 0});
+    }
+  }
+  for (const std::string& path : a.inputs) {
+    std::ifstream in(path);
+    if (!in) {
+      std::fprintf(stderr, "error: cannot open '%s'\n", path.c_str());
+      return false;
+    }
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    sources.push_back({path, buf.str(), 0});
+  }
+  if (sources.empty()) {
+    std::fprintf(stderr, "error: no kernels (give files, --table1, or --corpus DIR)\n");
+    return false;
+  }
+  for (const auto& s : sources) {
+    for (const int u : a.unrolls) {
+      roccc::CompileJob job;
+      job.name = u == 1 ? s.name : roccc::fmt("%0@u%1", s.name, u);
+      job.source = s.source;
+      job.options.unrollFactor = u;
+      if (s.targetNs > 0) job.options.dpOptions.targetStageDelayNs = s.targetNs;
+      jobs.push_back(std::move(job));
+    }
+  }
+  return true;
+}
+
+void printVerdicts(const roccc::VerifyReport& report, bool quiet) {
+  for (const auto& v : report.verdicts) {
+    if (v.outcome != roccc::CompileOutcome::Ok) {
+      std::printf("%-28s COMPILE-%s\n", v.kernel.c_str(),
+                  roccc::compileOutcomeName(v.outcome));
+      continue;
+    }
+    if (v.agree) {
+      if (!quiet) {
+        std::printf("%-28s agree (%d engines, %lld vectors, digest %016llx)\n", v.kernel.c_str(),
+                    v.enginesRun, static_cast<long long>(v.iterations),
+                    static_cast<unsigned long long>(v.outputDigest));
+      }
+      continue;
+    }
+    std::printf("%-28s DISAGREE\n", v.kernel.c_str());
+    for (const auto& ce : v.disagreements) {
+      std::printf("  [%s] %s\n", roccc::verifyEngineName(ce.engine), ce.detail.c_str());
+    }
+  }
+}
+
+/// Fault-injection soak: re-runs the batch with one armed fault point per
+/// round (rotating through faultPointRegistry() and the job list) and
+/// asserts every *other* job's verdict is identical to the clean run —
+/// agreement, output digest, iteration count. A failing job must never
+/// poison sibling conformance results.
+int runSoak(const std::vector<roccc::CompileJob>& jobs, const roccc::VerifyOptions& opt,
+            const roccc::VerifyReport& baseline, int rounds, bool quiet) {
+  const auto& registry = roccc::faultPointRegistry();
+  int poisonings = 0;
+  for (int round = 0; round < rounds; ++round) {
+    const auto& fp = registry[static_cast<size_t>(round) % registry.size()];
+    const size_t victim = static_cast<size_t>(round) % jobs.size();
+    std::vector<roccc::CompileJob> armed = jobs;
+    armed[victim].options.injectFaultAt = fp.name;
+    const roccc::VerifyReport report = roccc::verifyConformance(armed, opt);
+    for (size_t i = 0; i < jobs.size(); ++i) {
+      if (i == victim) continue;
+      const auto& base = baseline.verdicts[i];
+      const auto& got = report.verdicts[i];
+      if (base.outcome != got.outcome || base.agree != got.agree ||
+          base.outputDigest != got.outputDigest || base.iterations != got.iterations) {
+        ++poisonings;
+        std::printf("SOAK POISONING round %d (fault '%s' on '%s'): sibling '%s' changed "
+                    "(digest %016llx -> %016llx)\n",
+                    round, fp.name, jobs[victim].name.c_str(), jobs[i].name.c_str(),
+                    static_cast<unsigned long long>(base.outputDigest),
+                    static_cast<unsigned long long>(got.outputDigest));
+      }
+    }
+    if (!quiet) {
+      std::printf("soak round %d: fault '%s' on '%s' -> %s; siblings clean\n", round, fp.name,
+                  jobs[victim].name.c_str(),
+                  roccc::compileOutcomeName(report.verdicts[victim].outcome));
+    }
+  }
+  std::printf("soak: %d rounds, %d poisonings\n", rounds, poisonings);
+  return poisonings == 0 ? 0 : 1;
+}
+
+} // namespace
+
+int main(int argc, char** argv) {
+  Args a;
+  if (!parseArgs(argc, argv, a)) return usage();
+  if (a.showHelp) {
+    printHelp();
+    return 0;
+  }
+  std::vector<roccc::CompileJob> jobs;
+  if (!collectJobs(a, jobs)) return 2;
+
+  const roccc::VerifyReport report = roccc::verifyConformance(jobs, a.verify);
+  printVerdicts(report, a.quiet);
+  std::printf("roccc-verify: %s\n", report.summary().c_str());
+
+  if (!a.jsonPath.empty()) {
+    std::ofstream out(a.jsonPath);
+    if (!out) {
+      std::fprintf(stderr, "error: cannot write '%s'\n", a.jsonPath.c_str());
+      return 2;
+    }
+    out << report.toJson();
+    if (!a.quiet) std::printf("wrote %s\n", a.jsonPath.c_str());
+  }
+
+  int exitCode = 0;
+  if (!report.allAgree()) exitCode = 1;
+  else if (report.compileFailures() > 0) exitCode = 3;
+
+  if (a.soakRounds > 0 && exitCode == 0) {
+    const int soak = runSoak(jobs, a.verify, report, a.soakRounds, a.quiet);
+    if (soak != 0) exitCode = soak;
+  }
+  return exitCode;
+}
