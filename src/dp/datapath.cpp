@@ -17,58 +17,98 @@ namespace roccc::dp {
 using mir::Opcode;
 
 // ---------------------------------------------------------------------------
-// Delay model (Virtex-II speed grade -5 ballpark; used for latch placement)
+// Delay model — looked up from synth::TimingModel (the Virtex-II-class table
+// by default); used for latch placement and by the retime pass.
 // ---------------------------------------------------------------------------
 
-double opDelayNs(Opcode op, int width, BuildOptions::MultStyle style) {
-  const double w = width;
+bool primitiveForOpcode(Opcode op, BuildOptions::MultStyle style, synth::Primitive& out) {
   switch (op) {
     case Opcode::Add:
     case Opcode::Sub:
     case Opcode::Neg:
-      return 0.7 + 0.045 * w; // carry chain
+      out = synth::Primitive::Add;
+      return true;
     case Opcode::Mul:
-      // MULT18x18 block vs LUT-fabric multiplier.
-      if (style == BuildOptions::MultStyle::Mult18) return w <= 18 ? 4.9 : 9.0;
-      return 3.5 + 0.12 * w;
+      out = style == BuildOptions::MultStyle::Mult18 ? synth::Primitive::Mul18
+                                                     : synth::Primitive::MulLut;
+      return true;
     case Opcode::Div:
     case Opcode::Rem:
-      // Restoring array divider: one subtract-mux row per quotient bit.
-      return w * (0.75 + 0.045 * w);
+      out = synth::Primitive::Div;
+      return true;
     case Opcode::And:
     case Opcode::Or:
     case Opcode::Xor:
     case Opcode::Not:
-      return 0.55;
+      out = synth::Primitive::Logic;
+      return true;
     case Opcode::Shl:
     case Opcode::Shr:
-      // Barrel shifter (variable amounts); constant shifts are free wiring
-      // (callers pass width 0 to signal a constant shift — see stageOps).
-      return width == 0 ? 0.0 : 0.5 * std::ceil(std::log2(std::max(2.0, w))) + 0.4;
+      out = synth::Primitive::Shift;
+      return true;
     case Opcode::Seq:
     case Opcode::Sne:
     case Opcode::Slt:
     case Opcode::Sle:
     case Opcode::Sgt:
     case Opcode::Sge:
-      return 0.6 + 0.035 * w;
+      out = synth::Primitive::Cmp;
+      return true;
     case Opcode::Mux:
-      return 0.6;
+      out = synth::Primitive::Mux;
+      return true;
     case Opcode::Lut:
-      return 2.0; // distributed/BRAM ROM read
-    case Opcode::BitSel:
-    case Opcode::BitCat:
-    case Opcode::Mov:
-    case Opcode::Cast:
-    case Opcode::Ldc:
-    case Opcode::In:
-    case Opcode::Out:
-    case Opcode::Lpr:
-    case Opcode::Snx:
-      return 0.0;
+      out = synth::Primitive::Rom;
+      return true;
     default:
-      return 0.5;
+      return false; // wiring / I/O copies / control: free
   }
+}
+
+double opDelayNs(const synth::TimingModel& model, Opcode op, int width,
+                 BuildOptions::MultStyle style) {
+  // Constant shifts are free wiring (callers pass width 0 to signal one —
+  // see timedOpDelayNs).
+  if ((op == Opcode::Shl || op == Opcode::Shr) && width == 0) return 0.0;
+  synth::Primitive p;
+  if (!primitiveForOpcode(op, style, p)) return 0.0;
+  return model.delayNs(p, width);
+}
+
+double opDelayNs(Opcode op, int width, BuildOptions::MultStyle style) {
+  return opDelayNs(synth::TimingModel::virtex2(), op, width, style);
+}
+
+double timedOpDelayNs(const DataPath& d, const DpOp& o, const synth::TimingModel& model,
+                      BuildOptions::MultStyle style) {
+  int w = 32;
+  if (o.result >= 0) w = d.values[static_cast<size_t>(o.result)].width;
+  // Comparisons produce 1 bit but their carry chain spans the operands.
+  switch (o.op) {
+    case Opcode::Seq:
+    case Opcode::Sne:
+    case Opcode::Slt:
+    case Opcode::Sle:
+    case Opcode::Sgt:
+    case Opcode::Sge:
+      w = 1;
+      for (int vid : o.operands) {
+        w = std::max(w, d.values[static_cast<size_t>(vid)].width);
+      }
+      break;
+    default:
+      break;
+  }
+  // Constant shift amounts make shifts free wiring.
+  if ((o.op == Opcode::Shl || o.op == Opcode::Shr) && o.operands.size() == 2) {
+    const DpValue& sh = d.values[static_cast<size_t>(o.operands[1])];
+    if (sh.def >= 0 && d.ops[static_cast<size_t>(sh.def)].op == Opcode::Ldc) {
+      return opDelayNs(model, o.op, 0, style);
+    }
+  }
+  const double delay = opDelayNs(model, o.op, w, style);
+  // Per-hop routing margin, mirroring the synthesis model.
+  return delay > 0 ? delay + model.routingPerHopNs : 0.0;
 }
 
 namespace {
@@ -635,7 +675,7 @@ class Builder {
 
   void inferWidths() {
     // Topological order over values via op dependencies.
-    const std::vector<int> order = topoOrderOps();
+    const std::vector<int> order = topoOrderOps(out_);
     // Input ports and LPRs already carry their declared ranges.
     for (auto& fbv : out_.feedbacks) {
       if (fbv.lprValue >= 0) {
@@ -732,7 +772,7 @@ class Builder {
   /// is as wide as its literal type says. Sound because every formula
   /// bounds the true value range of the operation.
   void inferWidthsPortOpcode() {
-    const std::vector<int> order = topoOrderOps();
+    const std::vector<int> order = topoOrderOps(out_);
     for (auto& fbv : out_.feedbacks) {
       if (fbv.lprValue >= 0) {
         DpValue& v = out_.values[static_cast<size_t>(fbv.lprValue)];
@@ -850,217 +890,13 @@ class Builder {
 
   // --- pipelining ------------------------------------------------------------------
 
-  std::vector<int> topoOrderOps() const {
-    // Kahn over value dependencies; ops only depend on op-produced values.
-    std::vector<int> indeg(out_.ops.size(), 0);
-    std::vector<std::vector<int>> consumers(out_.values.size());
-    for (size_t oi = 0; oi < out_.ops.size(); ++oi) {
-      for (int v : out_.ops[oi].operands) {
-        const int def = out_.values[static_cast<size_t>(v)].def;
-        if (def >= 0) ++indeg[oi];
-        consumers[static_cast<size_t>(v)].push_back(static_cast<int>(oi));
-      }
-    }
-    std::vector<int> ready, order;
-    for (size_t oi = 0; oi < out_.ops.size(); ++oi) {
-      if (indeg[oi] == 0) ready.push_back(static_cast<int>(oi));
-    }
-    while (!ready.empty()) {
-      const int oi = ready.back();
-      ready.pop_back();
-      order.push_back(oi);
-      const int res = out_.ops[static_cast<size_t>(oi)].result;
-      if (res < 0) continue;
-      for (int c : consumers[static_cast<size_t>(res)]) {
-        if (--indeg[static_cast<size_t>(c)] == 0) ready.push_back(c);
-      }
-    }
-    if (order.size() != out_.ops.size()) {
-      throw InternalCompilerError(
-          fmt("datapath: op graph has a combinational cycle (%0 of %1 ops schedulable)",
-              order.size(), out_.ops.size()));
-    }
-    return order;
-  }
-
-  double delayOf(const DpOp& o) const {
-    int w = 32;
-    if (o.result >= 0) w = out_.values[static_cast<size_t>(o.result)].width;
-    // Comparisons produce 1 bit but their carry chain spans the operands.
-    switch (o.op) {
-      case Opcode::Seq:
-      case Opcode::Sne:
-      case Opcode::Slt:
-      case Opcode::Sle:
-      case Opcode::Sgt:
-      case Opcode::Sge:
-        w = 1;
-        for (int vid : o.operands) {
-          w = std::max(w, out_.values[static_cast<size_t>(vid)].width);
-        }
-        break;
-      default:
-        break;
-    }
-    // Constant shift amounts make shifts free wiring.
-    if ((o.op == Opcode::Shl || o.op == Opcode::Shr) && o.operands.size() == 2) {
-      const DpValue& sh = out_.values[static_cast<size_t>(o.operands[1])];
-      if (sh.def >= 0 && out_.ops[static_cast<size_t>(sh.def)].op == Opcode::Ldc) {
-        return opDelayNs(o.op, 0, opt_.multStyle);
-      }
-    }
-    const double d = opDelayNs(o.op, w, opt_.multStyle);
-    // Per-hop routing margin, mirroring the synthesis model.
-    return d > 0 ? d + 0.4 : 0.0;
-  }
-
   void assignStages() {
-    const std::vector<int> order = topoOrderOps();
-
-    // Feedback cones: ops on a path LPR -> SNX for the same register must
-    // share a stage (the loop closes through one register, Fig 7).
-    std::vector<int> coneOf(out_.ops.size(), -1);
-    for (size_t fi = 0; fi < out_.feedbacks.size(); ++fi) {
-      const auto& fb = out_.feedbacks[fi];
-      if (fb.lprValue < 0 || fb.snxValue < 0) continue;
-      // Forward-reachable from the LPR value.
-      std::vector<char> fromLpr(out_.ops.size(), 0);
-      std::function<void(int)> mark = [&](int vid) {
-        for (size_t oi = 0; oi < out_.ops.size(); ++oi) {
-          if (fromLpr[oi]) continue;
-          for (int op : out_.ops[oi].operands) {
-            if (op == vid) {
-              fromLpr[oi] = 1;
-              if (out_.ops[oi].result >= 0) mark(out_.ops[oi].result);
-              break;
-            }
-          }
-        }
-      };
-      mark(fb.lprValue);
-      // Backward from the SNX value.
-      std::vector<char> toSnx(out_.ops.size(), 0);
-      std::function<void(int)> markBack = [&](int vid) {
-        const int def = out_.values[static_cast<size_t>(vid)].def;
-        if (def < 0 || toSnx[static_cast<size_t>(def)]) return;
-        toSnx[static_cast<size_t>(def)] = 1;
-        for (int op : out_.ops[static_cast<size_t>(def)].operands) markBack(op);
-      };
-      markBack(fb.snxValue);
-      for (size_t oi = 0; oi < out_.ops.size(); ++oi) {
-        if (fromLpr[oi] && toSnx[oi]) coneOf[oi] = static_cast<int>(fi);
-      }
-      // The LPR op itself belongs to the cone.
-      const int lprDef = out_.values[static_cast<size_t>(fb.lprValue)].def;
-      if (lprDef >= 0) coneOf[static_cast<size_t>(lprDef)] = static_cast<int>(fi);
+    std::vector<double> delay(out_.ops.size(), 0);
+    for (size_t oi = 0; oi < out_.ops.size(); ++oi) {
+      delay[oi] = timedOpDelayNs(out_, out_.ops[oi], synth::TimingModel::virtex2(),
+                                 opt_.multStyle);
     }
-
-    if (!opt_.pipeline) {
-      for (auto& o : out_.ops) o.stage = 0;
-      out_.stageCount = 1;
-    } else {
-      std::vector<int> coneStage(out_.feedbacks.size(), -1);
-      for (int oi : order) {
-        DpOp& o = out_.ops[static_cast<size_t>(oi)];
-        int s = 0;
-        double sameStageDelay = 0;
-        for (int vid : o.operands) {
-          const DpValue& v = out_.values[static_cast<size_t>(vid)];
-          if (v.def < 0) continue; // inputs arrive registered at stage 0
-          const DpOp& defOp = out_.ops[static_cast<size_t>(v.def)];
-          if (defOp.op == Opcode::Ldc) continue; // constants are free
-          if (defOp.stage > s) {
-            s = defOp.stage;
-            sameStageDelay = defOp.pathDelayNs;
-          } else if (defOp.stage == s) {
-            sameStageDelay = std::max(sameStageDelay, defOp.pathDelayNs);
-          }
-        }
-        const double d = delayOf(o);
-        if (coneOf[static_cast<size_t>(oi)] >= 0) {
-          // Feedback cone: everything lands in the cone's stage. External
-          // inputs that already carry combinational delay are registered
-          // into the cone (paper Fig 7: the feedback loop is its own latch
-          // stage) so the loop stays short.
-          int& cs = coneStage[static_cast<size_t>(coneOf[static_cast<size_t>(oi)])];
-          const int wanted = sameStageDelay > 0 ? s + 1 : s;
-          if (cs < 0) cs = wanted;
-          cs = std::max(cs, wanted);
-          o.stage = cs;
-          o.pathDelayNs = d;
-        } else if (sameStageDelay + d > opt_.targetStageDelayNs && sameStageDelay > 0) {
-          o.stage = s + 1;
-          o.pathDelayNs = d;
-        } else {
-          o.stage = s;
-          o.pathDelayNs = sameStageDelay + d;
-        }
-      }
-      // Cone stages may have been raised after members were placed; apply
-      // the final cone stage and repair downstream ordering.
-      bool changed = true;
-      while (changed) {
-        changed = false;
-        for (int oi : order) {
-          DpOp& o = out_.ops[static_cast<size_t>(oi)];
-          if (coneOf[static_cast<size_t>(oi)] >= 0) {
-            int& cs = coneStage[static_cast<size_t>(coneOf[static_cast<size_t>(oi)])];
-            // External inputs that arrive later drag the whole cone later.
-            for (int vid : o.operands) {
-              const DpValue& v = out_.values[static_cast<size_t>(vid)];
-              if (v.def < 0) continue;
-              const DpOp& defOp = out_.ops[static_cast<size_t>(v.def)];
-              if (defOp.op == Opcode::Ldc || coneOf[static_cast<size_t>(v.def)] >= 0) continue;
-              if (defOp.stage > cs) {
-                cs = defOp.stage;
-                changed = true;
-              }
-            }
-            if (o.stage != cs) {
-              o.stage = cs;
-              changed = true;
-            }
-            continue;
-          }
-          for (int vid : o.operands) {
-            const DpValue& v = out_.values[static_cast<size_t>(vid)];
-            if (v.def < 0) continue;
-            const DpOp& defOp = out_.ops[static_cast<size_t>(v.def)];
-            if (defOp.op == Opcode::Ldc) continue;
-            if (defOp.stage > o.stage) {
-              o.stage = defOp.stage;
-              changed = true;
-            }
-          }
-        }
-      }
-      int maxStage = 0;
-      for (const auto& o : out_.ops) maxStage = std::max(maxStage, o.stage);
-      out_.stageCount = maxStage + 1;
-      for (size_t fi = 0; fi < out_.feedbacks.size(); ++fi) {
-        out_.feedbacks[fi].stage = std::max(0, coneStage[fi]);
-      }
-      // Recompute within-stage path delays with the final stages.
-      for (auto& o : out_.ops) o.pathDelayNs = 0;
-      for (int oi : order) {
-        DpOp& o = out_.ops[static_cast<size_t>(oi)];
-        double in = 0;
-        for (int vid : o.operands) {
-          const DpValue& v = out_.values[static_cast<size_t>(vid)];
-          if (v.def < 0) continue;
-          const DpOp& defOp = out_.ops[static_cast<size_t>(v.def)];
-          if (defOp.op == Opcode::Ldc) continue;
-          if (defOp.stage == o.stage) in = std::max(in, defOp.pathDelayNs);
-        }
-        o.pathDelayNs = in + delayOf(o);
-      }
-    }
-
-    // Output stages.
-    for (size_t p = 0; p < out_.outputs.size(); ++p) {
-      const DpValue& v = out_.values[static_cast<size_t>(out_.outputs[p].value)];
-      out_.outputStage[p] = v.def >= 0 ? out_.ops[static_cast<size_t>(v.def)].stage : 0;
-    }
+    assignStagesGreedy(out_, delay, opt_.targetStageDelayNs, opt_.pipeline);
   }
 
   void computeStats() {
@@ -1073,32 +909,230 @@ class Builder {
         ++out_.hardNodeCount;
       }
     }
-    // Register bits for values crossing stage boundaries.
-    const int finalStage = out_.stageCount - 1;
-    std::vector<int> lastUse(out_.values.size(), -1);
-    for (const auto& o : out_.ops) {
-      for (int vid : o.operands) {
-        lastUse[static_cast<size_t>(vid)] = std::max(lastUse[static_cast<size_t>(vid)], o.stage);
-      }
-    }
-    // Outputs are consumed at the final stage (delivered together).
-    for (const auto& port : out_.outputs) {
-      lastUse[static_cast<size_t>(port.value)] = finalStage;
-    }
-    for (const auto& v : out_.values) {
-      if (v.def >= 0 && out_.ops[static_cast<size_t>(v.def)].op == Opcode::Ldc) continue;
-      const int defStage = v.def >= 0 ? out_.ops[static_cast<size_t>(v.def)].stage : 0;
-      const int last = lastUse[static_cast<size_t>(v.id)];
-      if (last > defStage) {
-        const int crossings = last - defStage;
-        out_.pipelineRegisterBits += static_cast<int64_t>(crossings) * v.width;
-        out_.balanceRegisterBits += static_cast<int64_t>(std::max(0, crossings - 1)) * v.width;
-      }
-    }
+    recomputePipelineStats(out_);
   }
 };
 
 } // namespace
+
+// ---------------------------------------------------------------------------
+// Staging primitives (shared between the Builder's seed placement and the
+// timing-driven retime pass, src/dp/retime.cpp)
+// ---------------------------------------------------------------------------
+
+std::vector<int> topoOrderOps(const DataPath& d) {
+  // Kahn over value dependencies; ops only depend on op-produced values.
+  std::vector<int> indeg(d.ops.size(), 0);
+  std::vector<std::vector<int>> consumers(d.values.size());
+  for (size_t oi = 0; oi < d.ops.size(); ++oi) {
+    for (int v : d.ops[oi].operands) {
+      const int def = d.values[static_cast<size_t>(v)].def;
+      if (def >= 0) ++indeg[oi];
+      consumers[static_cast<size_t>(v)].push_back(static_cast<int>(oi));
+    }
+  }
+  std::vector<int> ready, order;
+  for (size_t oi = 0; oi < d.ops.size(); ++oi) {
+    if (indeg[oi] == 0) ready.push_back(static_cast<int>(oi));
+  }
+  while (!ready.empty()) {
+    const int oi = ready.back();
+    ready.pop_back();
+    order.push_back(oi);
+    const int res = d.ops[static_cast<size_t>(oi)].result;
+    if (res < 0) continue;
+    for (int c : consumers[static_cast<size_t>(res)]) {
+      if (--indeg[static_cast<size_t>(c)] == 0) ready.push_back(c);
+    }
+  }
+  if (order.size() != d.ops.size()) {
+    throw InternalCompilerError(
+        fmt("datapath: op graph has a combinational cycle (%0 of %1 ops schedulable)",
+            order.size(), d.ops.size()));
+  }
+  return order;
+}
+
+std::vector<int> feedbackConeOf(const DataPath& d) {
+  // Ops on a path LPR -> SNX for the same register must share a stage (the
+  // loop closes through one register, Fig 7).
+  std::vector<int> coneOf(d.ops.size(), -1);
+  for (size_t fi = 0; fi < d.feedbacks.size(); ++fi) {
+    const auto& fb = d.feedbacks[fi];
+    if (fb.lprValue < 0 || fb.snxValue < 0) continue;
+    // Forward-reachable from the LPR value.
+    std::vector<char> fromLpr(d.ops.size(), 0);
+    std::function<void(int)> mark = [&](int vid) {
+      for (size_t oi = 0; oi < d.ops.size(); ++oi) {
+        if (fromLpr[oi]) continue;
+        for (int op : d.ops[oi].operands) {
+          if (op == vid) {
+            fromLpr[oi] = 1;
+            if (d.ops[oi].result >= 0) mark(d.ops[oi].result);
+            break;
+          }
+        }
+      }
+    };
+    mark(fb.lprValue);
+    // Backward from the SNX value.
+    std::vector<char> toSnx(d.ops.size(), 0);
+    std::function<void(int)> markBack = [&](int vid) {
+      const int def = d.values[static_cast<size_t>(vid)].def;
+      if (def < 0 || toSnx[static_cast<size_t>(def)]) return;
+      toSnx[static_cast<size_t>(def)] = 1;
+      for (int op : d.ops[static_cast<size_t>(def)].operands) markBack(op);
+    };
+    markBack(fb.snxValue);
+    for (size_t oi = 0; oi < d.ops.size(); ++oi) {
+      if (fromLpr[oi] && toSnx[oi]) coneOf[oi] = static_cast<int>(fi);
+    }
+    // The LPR op itself belongs to the cone.
+    const int lprDef = d.values[static_cast<size_t>(fb.lprValue)].def;
+    if (lprDef >= 0) coneOf[static_cast<size_t>(lprDef)] = static_cast<int>(fi);
+  }
+  return coneOf;
+}
+
+void assignStagesGreedy(DataPath& d, const std::vector<double>& delay, double targetNs,
+                        bool pipeline) {
+  const std::vector<int> order = topoOrderOps(d);
+  const std::vector<int> coneOf = feedbackConeOf(d);
+
+  if (!pipeline) {
+    for (auto& o : d.ops) o.stage = 0;
+    d.stageCount = 1;
+  } else {
+    std::vector<int> coneStage(d.feedbacks.size(), -1);
+    for (int oi : order) {
+      DpOp& o = d.ops[static_cast<size_t>(oi)];
+      int s = 0;
+      double sameStageDelay = 0;
+      for (int vid : o.operands) {
+        const DpValue& v = d.values[static_cast<size_t>(vid)];
+        if (v.def < 0) continue; // inputs arrive registered at stage 0
+        const DpOp& defOp = d.ops[static_cast<size_t>(v.def)];
+        if (defOp.op == Opcode::Ldc) continue; // constants are free
+        if (defOp.stage > s) {
+          s = defOp.stage;
+          sameStageDelay = defOp.pathDelayNs;
+        } else if (defOp.stage == s) {
+          sameStageDelay = std::max(sameStageDelay, defOp.pathDelayNs);
+        }
+      }
+      const double dly = delay[static_cast<size_t>(oi)];
+      if (coneOf[static_cast<size_t>(oi)] >= 0) {
+        // Feedback cone: everything lands in the cone's stage. External
+        // inputs that already carry combinational delay are registered
+        // into the cone (paper Fig 7: the feedback loop is its own latch
+        // stage) so the loop stays short.
+        int& cs = coneStage[static_cast<size_t>(coneOf[static_cast<size_t>(oi)])];
+        const int wanted = sameStageDelay > 0 ? s + 1 : s;
+        if (cs < 0) cs = wanted;
+        cs = std::max(cs, wanted);
+        o.stage = cs;
+        o.pathDelayNs = dly;
+      } else if (sameStageDelay + dly > targetNs && sameStageDelay > 0) {
+        o.stage = s + 1;
+        o.pathDelayNs = dly;
+      } else {
+        o.stage = s;
+        o.pathDelayNs = sameStageDelay + dly;
+      }
+    }
+    // Cone stages may have been raised after members were placed; apply
+    // the final cone stage and repair downstream ordering.
+    bool changed = true;
+    while (changed) {
+      changed = false;
+      for (int oi : order) {
+        DpOp& o = d.ops[static_cast<size_t>(oi)];
+        if (coneOf[static_cast<size_t>(oi)] >= 0) {
+          int& cs = coneStage[static_cast<size_t>(coneOf[static_cast<size_t>(oi)])];
+          // External inputs that arrive later drag the whole cone later.
+          for (int vid : o.operands) {
+            const DpValue& v = d.values[static_cast<size_t>(vid)];
+            if (v.def < 0) continue;
+            const DpOp& defOp = d.ops[static_cast<size_t>(v.def)];
+            if (defOp.op == Opcode::Ldc || coneOf[static_cast<size_t>(v.def)] >= 0) continue;
+            if (defOp.stage > cs) {
+              cs = defOp.stage;
+              changed = true;
+            }
+          }
+          if (o.stage != cs) {
+            o.stage = cs;
+            changed = true;
+          }
+          continue;
+        }
+        for (int vid : o.operands) {
+          const DpValue& v = d.values[static_cast<size_t>(vid)];
+          if (v.def < 0) continue;
+          const DpOp& defOp = d.ops[static_cast<size_t>(v.def)];
+          if (defOp.op == Opcode::Ldc) continue;
+          if (defOp.stage > o.stage) {
+            o.stage = defOp.stage;
+            changed = true;
+          }
+        }
+      }
+    }
+    int maxStage = 0;
+    for (const auto& o : d.ops) maxStage = std::max(maxStage, o.stage);
+    d.stageCount = maxStage + 1;
+    for (size_t fi = 0; fi < d.feedbacks.size(); ++fi) {
+      d.feedbacks[fi].stage = std::max(0, coneStage[fi]);
+    }
+    // Recompute within-stage path delays with the final stages.
+    for (auto& o : d.ops) o.pathDelayNs = 0;
+    for (int oi : order) {
+      DpOp& o = d.ops[static_cast<size_t>(oi)];
+      double in = 0;
+      for (int vid : o.operands) {
+        const DpValue& v = d.values[static_cast<size_t>(vid)];
+        if (v.def < 0) continue;
+        const DpOp& defOp = d.ops[static_cast<size_t>(v.def)];
+        if (defOp.op == Opcode::Ldc) continue;
+        if (defOp.stage == o.stage) in = std::max(in, defOp.pathDelayNs);
+      }
+      o.pathDelayNs = in + delay[static_cast<size_t>(oi)];
+    }
+  }
+
+  // Output stages.
+  for (size_t p = 0; p < d.outputs.size(); ++p) {
+    const DpValue& v = d.values[static_cast<size_t>(d.outputs[p].value)];
+    d.outputStage[p] = v.def >= 0 ? d.ops[static_cast<size_t>(v.def)].stage : 0;
+  }
+}
+
+void recomputePipelineStats(DataPath& d) {
+  d.pipelineRegisterBits = 0;
+  d.balanceRegisterBits = 0;
+  // Register bits for values crossing stage boundaries.
+  const int finalStage = d.stageCount - 1;
+  std::vector<int> lastUse(d.values.size(), -1);
+  for (const auto& o : d.ops) {
+    for (int vid : o.operands) {
+      lastUse[static_cast<size_t>(vid)] = std::max(lastUse[static_cast<size_t>(vid)], o.stage);
+    }
+  }
+  // Outputs are consumed at the final stage (delivered together).
+  for (const auto& port : d.outputs) {
+    lastUse[static_cast<size_t>(port.value)] = finalStage;
+  }
+  for (const auto& v : d.values) {
+    if (v.def >= 0 && d.ops[static_cast<size_t>(v.def)].op == Opcode::Ldc) continue;
+    const int defStage = v.def >= 0 ? d.ops[static_cast<size_t>(v.def)].stage : 0;
+    const int last = lastUse[static_cast<size_t>(v.id)];
+    if (last > defStage) {
+      const int crossings = last - defStage;
+      d.pipelineRegisterBits += static_cast<int64_t>(crossings) * v.width;
+      d.balanceRegisterBits += static_cast<int64_t>(std::max(0, crossings - 1)) * v.width;
+    }
+  }
+}
 
 bool buildDataPath(const mir::FunctionIR& fn, DataPath& out, DiagEngine& diags,
                    const BuildOptions& options) {

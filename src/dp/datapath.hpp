@@ -21,6 +21,7 @@
 #include "mir/ir.hpp"
 #include "support/diag.hpp"
 #include "support/range.hpp"
+#include "synth/timing.hpp"
 
 namespace roccc::dp {
 
@@ -135,9 +136,44 @@ struct BuildOptions {
   bool expandDividers = true;
 };
 
-/// Per-op combinational delay estimate (ns, Virtex-II -5 ballpark) used for
-/// latch placement. Exposed for tests and the synthesis model.
+/// The synth::TimingModel primitive implementing a mir opcode at the given
+/// multiplier style. False for wiring-only / control opcodes (zero delay).
+bool primitiveForOpcode(mir::Opcode op, BuildOptions::MultStyle style, synth::Primitive& out);
+
+/// Per-op combinational delay estimate (ns) used for latch placement,
+/// looked up from the given timing model. Exposed for tests and the
+/// synthesis model. Shl/Shr with width 0 signal a constant shift (free).
+double opDelayNs(const synth::TimingModel& model, mir::Opcode op, int width,
+                 BuildOptions::MultStyle style);
+/// Same, against the built-in Virtex-II-class table.
 double opDelayNs(mir::Opcode op, int width, BuildOptions::MultStyle style);
+
+/// Placed delay of one op (ns): operand-aware width selection (comparisons
+/// span their operands, constant shift amounts are free wiring) plus the
+/// model's per-hop routing margin. The unit the stage budget is spent on.
+double timedOpDelayNs(const DataPath& d, const DpOp& o, const synth::TimingModel& model,
+                      BuildOptions::MultStyle style);
+
+/// Topological order of d.ops over value dependencies. Throws
+/// InternalCompilerError if the op graph has a combinational cycle.
+std::vector<int> topoOrderOps(const DataPath& d);
+
+/// Feedback-cone membership: for each op, the index of the feedback register
+/// whose LPR -> SNX cone it belongs to, or -1. All ops of one cone must
+/// share a pipeline stage (the loop closes through one register, Fig 7).
+std::vector<int> feedbackConeOf(const DataPath& d);
+
+/// Greedy ASAP latch placement: walks ops in topological order accumulating
+/// within-stage delay from `delay` (indexed by op), opening a new stage when
+/// the budget would be exceeded, pinning each feedback cone to one stage.
+/// Rewrites op stages/pathDelayNs, stageCount, feedback stages and output
+/// stages. The `retime` pass refines this seed placement.
+void assignStagesGreedy(DataPath& d, const std::vector<double>& delay, double targetNs,
+                        bool pipeline);
+
+/// Recomputes the stage-crossing register statistics (pipelineRegisterBits,
+/// balanceRegisterBits) from the current op stages.
+void recomputePipelineStats(DataPath& d);
 
 /// Builds the data path from SSA MIR. Requires: canonicalizeSideEffects ran
 /// before buildSSA; verifySSA holds. Returns false on diagnosed failure.

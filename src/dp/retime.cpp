@@ -1,0 +1,235 @@
+#include "dp/retime.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/faultpoint.hpp"
+#include "support/strings.hpp"
+
+namespace roccc::dp {
+
+using mir::Opcode;
+
+namespace {
+
+constexpr double kEps = 1e-9;
+
+/// Recomputes every op's within-stage accumulated delay and returns the
+/// per-stage worst (the stage's combinational depth, routing included).
+std::vector<double> computeStageDelays(DataPath& d, const std::vector<double>& delay,
+                                       const std::vector<int>& order) {
+  int maxStage = 0;
+  for (const auto& o : d.ops) maxStage = std::max(maxStage, o.stage);
+  std::vector<double> worst(static_cast<size_t>(maxStage) + 1, 0.0);
+  for (auto& o : d.ops) o.pathDelayNs = 0;
+  for (int oi : order) {
+    DpOp& o = d.ops[static_cast<size_t>(oi)];
+    double in = 0;
+    for (int vid : o.operands) {
+      const DpValue& v = d.values[static_cast<size_t>(vid)];
+      if (v.def < 0) continue;
+      const DpOp& defOp = d.ops[static_cast<size_t>(v.def)];
+      if (defOp.op == Opcode::Ldc) continue;
+      if (defOp.stage == o.stage) in = std::max(in, defOp.pathDelayNs);
+    }
+    o.pathDelayNs = in + delay[static_cast<size_t>(oi)];
+    worst[static_cast<size_t>(o.stage)] = std::max(worst[static_cast<size_t>(o.stage)],
+                                                   o.pathDelayNs);
+  }
+  return worst;
+}
+
+/// The smallest budget each op can ever fit in: its own delay, except that a
+/// feedback cone is unsplittable, so every cone member carries the cone's
+/// longest internal path.
+std::vector<double> unsplittableUnits(const DataPath& d, const std::vector<double>& delay,
+                                      const std::vector<int>& order,
+                                      const std::vector<int>& coneOf) {
+  std::vector<double> unit = delay;
+  std::vector<double> acc(d.ops.size(), 0.0); // longest cone-internal chain ending at op
+  std::vector<double> coneWorst(d.feedbacks.size(), 0.0);
+  for (int oi : order) {
+    const int cone = coneOf[static_cast<size_t>(oi)];
+    if (cone < 0) continue;
+    const DpOp& o = d.ops[static_cast<size_t>(oi)];
+    double in = 0;
+    for (int vid : o.operands) {
+      const int def = d.values[static_cast<size_t>(vid)].def;
+      if (def >= 0 && coneOf[static_cast<size_t>(def)] == cone) {
+        in = std::max(in, acc[static_cast<size_t>(def)]);
+      }
+    }
+    acc[static_cast<size_t>(oi)] = in + delay[static_cast<size_t>(oi)];
+    coneWorst[static_cast<size_t>(cone)] =
+        std::max(coneWorst[static_cast<size_t>(cone)], acc[static_cast<size_t>(oi)]);
+  }
+  for (size_t oi = 0; oi < d.ops.size(); ++oi) {
+    if (coneOf[oi] >= 0) unit[oi] = coneWorst[static_cast<size_t>(coneOf[oi])];
+  }
+  return unit;
+}
+
+} // namespace
+
+bool retimePipeline(DataPath& d, const synth::TimingModel& model, const RetimeOptions& opt,
+                    RetimeReport& rep, DiagEngine& diags) {
+  faultpoint("dp.retime");
+  rep = RetimeReport{};
+  rep.run = true;
+  rep.targetNs = opt.targetNs;
+  rep.stagesBefore = d.stageCount;
+
+  const std::vector<int> order = topoOrderOps(d);
+  const std::vector<int> coneOf = feedbackConeOf(d);
+  std::vector<double> delay(d.ops.size(), 0.0);
+  for (size_t oi = 0; oi < d.ops.size(); ++oi) {
+    delay[oi] = timedOpDelayNs(d, d.ops[oi], model, opt.multStyle);
+  }
+
+  const std::vector<double> unit = unsplittableUnits(d, delay, order, coneOf);
+  rep.feasible = true;
+  for (double u : unit) {
+    if (u > opt.targetNs + kEps) rep.feasible = false;
+  }
+
+  // 1. Seed: re-stage from scratch against this model (which may differ from
+  //    the built-in table the Builder placed with).
+  assignStagesGreedy(d, delay, opt.targetNs, /*pipeline=*/true);
+
+  // 2. Merge: fuse adjacent stage pairs whose combined path still fits the
+  //    budget. Repeats until no pair fits (loose targets collapse).
+  bool mergedAny = true;
+  while (mergedAny && d.stageCount > 1) {
+    mergedAny = false;
+    for (int s = 0; s + 1 < d.stageCount; ++s) {
+      std::vector<int> saved(d.ops.size());
+      for (size_t oi = 0; oi < d.ops.size(); ++oi) saved[oi] = d.ops[oi].stage;
+      for (auto& o : d.ops) {
+        if (o.stage > s) o.stage -= 1; // tentatively fuse s+1 into s
+      }
+      std::vector<double> worst = computeStageDelays(d, delay, order);
+      if (worst[static_cast<size_t>(s)] <= opt.targetNs + kEps) {
+        d.stageCount -= 1;
+        rep.merges += 1;
+        mergedAny = true;
+        break; // rescan from the front with the new numbering
+      }
+      for (size_t oi = 0; oi < d.ops.size(); ++oi) d.ops[oi].stage = saved[oi]; // revert
+    }
+  }
+
+  // 3. Balance: move chain-head ops down (and chain-tail ops up) out of the
+  //    critical stage while the global worst-stage delay improves. This
+  //    never changes the stage count — it trades slack between neighbors.
+  std::vector<std::vector<int>> consumers(d.values.size());
+  for (size_t oi = 0; oi < d.ops.size(); ++oi) {
+    for (int vid : d.ops[oi].operands) {
+      consumers[static_cast<size_t>(vid)].push_back(static_cast<int>(oi));
+    }
+  }
+  std::vector<double> worst = computeStageDelays(d, delay, order);
+  for (int iter = 0; iter < opt.maxBalanceIterations; ++iter) {
+    int critical = 0;
+    for (int s = 1; s < d.stageCount; ++s) {
+      if (worst[static_cast<size_t>(s)] > worst[static_cast<size_t>(critical)]) critical = s;
+    }
+    const double before = worst[static_cast<size_t>(critical)];
+    bool moved = false;
+    for (int oi : order) {
+      DpOp& o = d.ops[static_cast<size_t>(oi)];
+      if (o.stage != critical || coneOf[static_cast<size_t>(oi)] >= 0) continue;
+      if (o.result < 0 || delay[static_cast<size_t>(oi)] <= 0) continue;
+      // Head hoist: every real operand already lives in an earlier stage.
+      bool headOk = critical > 0;
+      // Tail push: every consumer lives in a later stage.
+      bool tailOk = critical + 1 < d.stageCount;
+      for (int vid : o.operands) {
+        const int def = d.values[static_cast<size_t>(vid)].def;
+        if (def < 0 || d.ops[static_cast<size_t>(def)].op == Opcode::Ldc) continue;
+        if (d.ops[static_cast<size_t>(def)].stage >= critical) headOk = false;
+      }
+      for (int c : consumers[static_cast<size_t>(o.result)]) {
+        if (d.ops[static_cast<size_t>(c)].stage <= critical) tailOk = false;
+      }
+      for (int dir = 0; dir < 2 && !moved; ++dir) {
+        const bool hoist = dir == 0;
+        if (hoist ? !headOk : !tailOk) continue;
+        o.stage = hoist ? critical - 1 : critical + 1;
+        std::vector<double> trial = computeStageDelays(d, delay, order);
+        double trialWorst = 0;
+        for (double t : trial) trialWorst = std::max(trialWorst, t);
+        if (trialWorst < before - kEps) {
+          worst = std::move(trial);
+          rep.movedOps += 1;
+          moved = true;
+        } else {
+          o.stage = critical;
+        }
+      }
+      if (moved) break;
+    }
+    if (!moved) {
+      computeStageDelays(d, delay, order); // restore pathDelayNs after trials
+      break;
+    }
+  }
+
+  // Final bookkeeping: stage count, feedback/output stages, statistics.
+  int maxStage = 0;
+  for (const auto& o : d.ops) maxStage = std::max(maxStage, o.stage);
+  d.stageCount = maxStage + 1;
+  for (size_t fi = 0; fi < d.feedbacks.size(); ++fi) {
+    d.feedbacks[fi].stage = 0;
+    for (size_t oi = 0; oi < d.ops.size(); ++oi) {
+      if (coneOf[oi] == static_cast<int>(fi)) {
+        d.feedbacks[fi].stage = d.ops[oi].stage;
+        break;
+      }
+    }
+  }
+  for (size_t p = 0; p < d.outputs.size(); ++p) {
+    const DpValue& v = d.values[static_cast<size_t>(d.outputs[p].value)];
+    d.outputStage[p] = v.def >= 0 ? d.ops[static_cast<size_t>(v.def)].stage : 0;
+  }
+  recomputePipelineStats(d);
+
+  worst = computeStageDelays(d, delay, order);
+  rep.stageDelayNs.assign(worst.begin(), worst.end());
+  rep.worstStageNs = 0;
+  for (double s : worst) rep.worstStageNs = std::max(rep.worstStageNs, s);
+  rep.criticalPathNs = rep.worstStageNs + model.clockOverheadNs;
+  rep.fmaxMHz = rep.criticalPathNs > 0 ? 1000.0 / rep.criticalPathNs : 0.0;
+  rep.slackNs = opt.targetNs - rep.worstStageNs;
+  rep.stagesAfter = d.stageCount;
+
+  // Invariant audit: producers before consumers, cones in one stage. A
+  // violation here is a compiler bug, not an input error.
+  for (size_t oi = 0; oi < d.ops.size(); ++oi) {
+    for (int vid : d.ops[oi].operands) {
+      const int def = d.values[static_cast<size_t>(vid)].def;
+      if (def < 0 || d.ops[static_cast<size_t>(def)].op == Opcode::Ldc) continue;
+      if (d.ops[static_cast<size_t>(def)].stage > d.ops[oi].stage) {
+        diags.error({}, fmt("retime: op %0 (stage %1) consumes a stage-%2 value", oi,
+                            d.ops[oi].stage, d.ops[static_cast<size_t>(def)].stage));
+        return false;
+      }
+    }
+  }
+  for (size_t fi = 0; fi < d.feedbacks.size(); ++fi) {
+    for (size_t oi = 0; oi < d.ops.size(); ++oi) {
+      if (coneOf[oi] == static_cast<int>(fi) && d.ops[oi].stage != d.feedbacks[fi].stage) {
+        diags.error({}, fmt("retime: feedback '%0' cone split across stages",
+                            d.feedbacks[fi].name));
+        return false;
+      }
+    }
+  }
+  if (rep.feasible && rep.worstStageNs > opt.targetNs + kEps) {
+    diags.error({}, fmt("retime: feasible target %0 ns missed (worst stage %1 ns)",
+                        opt.targetNs, rep.worstStageNs));
+    return false;
+  }
+  return true;
+}
+
+} // namespace roccc::dp

@@ -1,0 +1,64 @@
+// Timing-driven pipeline balancing (the `retime` pass).
+//
+// The Builder's latch placement is a greedy ASAP cut: walk the ops in
+// topological order and open a new stage whenever the accumulated
+// combinational delay would exceed the --target-ns budget. That meets the
+// budget but distributes slack badly — early stages are packed to the brim
+// while the last stage holds whatever was left over.
+//
+// retimePipeline replaces that seed placement with a model-driven one:
+//
+//   1. re-stage from scratch against the given synth::TimingModel (which
+//      may be a --timing-model override, not the built-in table the seed
+//      placement used),
+//   2. merge adjacent stages whose combined combinational path still fits
+//      the budget (loose targets collapse to shallow pipelines),
+//   3. balance: greedily move slack-free boundary ops between neighboring
+//      stages while the global worst-stage delay improves — this is what
+//      raises achieved fmax above the greedy cut at the same stage count.
+//
+// Feedback-register semantics are preserved throughout: every LPR -> SNX
+// cone keeps all its ops in a single stage (the loop closes through one
+// register per iteration, paper Fig 7), and the consumer-after-producer
+// stage invariant rtl::from_dp relies on is maintained by construction.
+#pragma once
+
+#include "dp/datapath.hpp"
+#include "synth/timing.hpp"
+
+namespace roccc::dp {
+
+struct RetimeOptions {
+  /// Per-stage combinational delay budget (the --target-ns clock, minus
+  /// the model's clock overhead which is accounted separately).
+  double targetNs = 4.0;
+  BuildOptions::MultStyle multStyle = BuildOptions::MultStyle::Lut;
+  /// Safety bound on the balance loop (each iteration moves >= 1 op).
+  int maxBalanceIterations = 256;
+};
+
+struct RetimeReport {
+  bool run = false;          ///< the pass executed (false: disabled/skipped)
+  double targetNs = 0;
+  int stagesBefore = 0;      ///< stage count of the seed placement
+  int stagesAfter = 0;
+  int movedOps = 0;          ///< balance moves accepted
+  int merges = 0;            ///< adjacent stage pairs fused
+  double worstStageNs = 0;   ///< achieved max per-stage combinational delay
+  double criticalPathNs = 0; ///< worstStageNs + model clock overhead
+  double fmaxMHz = 0;        ///< 1000 / criticalPathNs
+  double slackNs = 0;        ///< targetNs - worstStageNs (negative: missed)
+  /// True when the budget is achievable at all: no single primitive (or
+  /// unsplittable feedback cone) exceeds targetNs on its own. Whenever
+  /// feasible, the pass guarantees worstStageNs <= targetNs.
+  bool feasible = true;
+  std::vector<double> stageDelayNs; ///< per-stage combinational delay
+};
+
+/// Rebalances d's pipeline stages against `model`. Recomputes op stages and
+/// path delays, stageCount, feedback/output stages and the register-bit
+/// statistics. Returns false only on a diagnosed internal inconsistency.
+bool retimePipeline(DataPath& d, const synth::TimingModel& model, const RetimeOptions& opt,
+                    RetimeReport& rep, DiagEngine& diags);
+
+} // namespace roccc::dp

@@ -17,7 +17,7 @@ namespace roccc {
 
 // Bump on any change to code generation, key derivation, or the entry
 // serialization below. Old tier-2 stores then read as silent misses.
-const char* const kCacheSchema = "roccc-cache-v1";
+const char* const kCacheSchema = "roccc-cache-v2";
 
 // --- key derivation ----------------------------------------------------------
 
@@ -82,6 +82,11 @@ std::string canonicalizeOptions(const CompileOptions& o) {
   // The fault-injection salt: an armed compile never shares a key with a
   // clean one (armed results are uncacheable anyway — belt and suspenders).
   s << "injectFaultAt=" << o.injectFaultAt.size() << ':' << o.injectFaultAt << ';';
+  // v2: timing-driven retiming. The model spec is the file's *contents*, so
+  // two --timing-model paths with identical text share an entry and editing
+  // the file changes the key.
+  s << "retimePipeline=" << (o.retimePipeline ? 1 : 0) << ';';
+  s << "timingModelSpec=" << o.timingModelSpec.size() << ':' << o.timingModelSpec << ';';
   return s.str();
 }
 

@@ -200,6 +200,37 @@ PassManager Compiler::buildPipeline() const {
                 st.add("mux-ops", d.muxOpCount);
                 return true;
               }});
+  // Timing-driven pipeline balancing: re-stage the data path against the
+  // (possibly overridden) synth::TimingModel, merge under-full stages and
+  // spread slack so the worst stage — hence achieved fmax — improves over
+  // the greedy seed placement.
+  Pass retimePass{"retime", PassLayer::Dp, [](PassContext& ctx, PassStatistics& st) {
+                    synth::TimingModel model;
+                    std::string parseError;
+                    if (!synth::TimingModel::parse(ctx.options.timingModelSpec, model,
+                                                   parseError)) {
+                      ctx.diags().error({}, "timing-model: " + parseError);
+                      return false;
+                    }
+                    dp::RetimeOptions ro;
+                    ro.targetNs = ctx.options.dpOptions.targetStageDelayNs;
+                    ro.multStyle = ctx.options.dpOptions.multStyle;
+                    if (!dp::retimePipeline(ctx.result.datapath, model, ro,
+                                            ctx.result.retiming, ctx.diags())) {
+                      return false;
+                    }
+                    const auto& rr = ctx.result.retiming;
+                    st.add("stages-before", rr.stagesBefore);
+                    st.add("stages-after", rr.stagesAfter);
+                    st.add("merges", rr.merges);
+                    st.add("moved-ops", rr.movedOps);
+                    st.add("worst-stage-ps", static_cast<int64_t>(rr.worstStageNs * 1000 + 0.5));
+                    st.add("fmax-khz", static_cast<int64_t>(rr.fmaxMHz * 1000 + 0.5));
+                    st.add("feasible", rr.feasible ? 1 : 0);
+                    return true;
+                  }};
+  retimePass.enabled = opts.retimePipeline && opts.dpOptions.pipeline;
+  pm.addPass(std::move(retimePass));
   Pass rtlPass{"build-rtl", PassLayer::Rtl, [](PassContext& ctx, PassStatistics& st) {
                  if (!rtl::buildDatapathModule(ctx.result.datapath, ctx.result.module,
                                                ctx.diags())) {

@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "dp/datapath.hpp"
+#include "dp/retime.hpp"
 #include "frontend/ast.hpp"
 #include "hlir/kernel.hpp"
 #include "interp/interp.hpp"
@@ -66,6 +67,15 @@ struct CompileOptions {
   /// Data-path generation knobs (pipelining target, bit-width inference,
   /// multiplier style).
   dp::BuildOptions dpOptions;
+  /// Timing-driven pipeline balancing (the `retime` pass): rebalance the
+  /// greedy seed staging against the timing model so every stage fits
+  /// dpOptions.targetStageDelayNs with slack spread evenly. Off = keep the
+  /// fixed greedy staging (the pre-retiming behavior; ablation knob).
+  bool retimePipeline = true;
+  /// Timing-model override: the *contents* of a --timing-model file (not
+  /// its path, so a compile stays a pure function of (source, options) —
+  /// the cache-key contract). Empty = the built-in Virtex-II-class table.
+  std::string timingModelSpec;
   /// Pipeline instrumentation: verify-each, print-after snapshots.
   PipelineOptions pipeline;
   /// Per-job resource budget (deadline, IR-node cap, unroll-product cap,
@@ -90,6 +100,9 @@ struct CompileResult {
   hlir::KernelInfo kernel;
   mir::FunctionIR mir;
   dp::DataPath datapath;
+  /// Timing report of the retime pass (run == false when the pass was
+  /// disabled or the compile failed before it).
+  dp::RetimeReport retiming;
   rtl::Module module;
   std::string vhdl; ///< generated RTL VHDL (all entities)
   std::string verilog; ///< generated Verilog (library extension)

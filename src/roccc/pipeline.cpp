@@ -240,6 +240,10 @@ std::string jsonEscape(const std::string& s) {
 } // namespace
 
 std::string statsToJson(const std::vector<PassStatistics>& stats) {
+  return statsToJson(stats, std::string());
+}
+
+std::string statsToJson(const std::vector<PassStatistics>& stats, const std::string& extraMember) {
   std::ostringstream os;
   os << "{\n  \"passes\": [\n";
   double totalMs = 0;
@@ -255,7 +259,9 @@ std::string statsToJson(const std::vector<PassStatistics>& stats) {
     }
     os << "}}" << (i + 1 < stats.size() ? "," : "") << "\n";
   }
-  os << "  ],\n  \"totalMs\": " << totalMs << "\n}\n";
+  os << "  ],\n";
+  if (!extraMember.empty()) os << "  " << extraMember << ",\n";
+  os << "  \"totalMs\": " << totalMs << "\n}\n";
   return os.str();
 }
 

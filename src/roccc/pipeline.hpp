@@ -51,6 +51,12 @@ struct PassStatistics {
 /// The --stats-json payload: {"passes":[{name,layer,wallMs,ran,counters},...],
 /// "totalMs":...}.
 std::string statsToJson(const std::vector<PassStatistics>& stats);
+
+/// As above, with one extra pre-rendered top-level member spliced in before
+/// "totalMs" (e.g. `"timing": {...}` — roccc-cc's --stats-json timing
+/// block). `extraMember` must be a complete `"key": value` fragment, or
+/// empty for none.
+std::string statsToJson(const std::vector<PassStatistics>& stats, const std::string& extraMember);
 /// The --time-passes table (one row per pass, slowest-aware column widths).
 std::string statsToTable(const std::vector<PassStatistics>& stats);
 

@@ -35,6 +35,8 @@ namespace {
 struct CellCost {
   Resources res;
   double delayNs = 0;
+  double dynamicPj = 0; ///< full-activity switched energy per evaluation
+  double leakageUw = 0;
 };
 
 int widthOf(const rtl::Module& m, int net) { return m.nets[static_cast<size_t>(net)].type.width; }
@@ -44,9 +46,47 @@ bool drivenByConst(const rtl::Module& m, int net) {
   return d >= 0 && m.cells[static_cast<size_t>(d)].kind == rtl::CellKind::Const;
 }
 
+/// The width a cell's silicon actually spans: its carry chain / mux tree
+/// covers the widest of the output and the listed operand nets. dp-level
+/// range narrowing can leave the result narrower than an operand, and the
+/// old per-op constants priced only the output — undercounting compare/mux
+/// chains fed by wide annotated values (the Table 1 regression in
+/// tests/timing_model_test.cpp pins the corrected numbers).
+int effectiveWidth(const rtl::Module& m, const rtl::Cell& c, size_t firstInput) {
+  int w = c.output >= 0 ? widthOf(m, c.output) : 1;
+  for (size_t i = firstInput; i < c.inputs.size(); ++i) {
+    w = std::max(w, widthOf(m, c.inputs[i]));
+  }
+  return w;
+}
+
 CellCost cost(const rtl::Module& m, const rtl::Cell& c, const EstimateOptions& opt) {
+  const TimingModel& tm = opt.timing ? *opt.timing : TimingModel::virtex2();
   CellCost k;
   const int w = c.output >= 0 ? widthOf(m, c.output) : 1;
+  // Direct table rows: resources, delay and energy come straight from the
+  // model (single source of truth — the old hand-rolled constants here were
+  // folded into TimingModel::virtex2()).
+  auto fromRow = [&](Primitive p, int width) {
+    const PrimitiveCost row = tm.cost(p, width);
+    k.res.lut4 = static_cast<int64_t>(std::llround(row.lut4));
+    k.res.ff = static_cast<int64_t>(std::llround(row.ff));
+    k.res.mult18 = static_cast<int64_t>(std::llround(row.mult18));
+    k.res.bram = static_cast<int64_t>(std::llround(row.bram));
+    k.delayNs = row.delayNs;
+    k.dynamicPj = row.dynamicPj;
+    k.leakageUw = row.leakageUw;
+  };
+  auto energyFromRes = [&] {
+    k.dynamicPj = tm.resourceDynamicPj(static_cast<double>(k.res.lut4),
+                                       static_cast<double>(k.res.ff),
+                                       static_cast<double>(k.res.mult18),
+                                       static_cast<double>(k.res.bram));
+    k.leakageUw = tm.resourceLeakageUw(static_cast<double>(k.res.lut4),
+                                       static_cast<double>(k.res.ff),
+                                       static_cast<double>(k.res.mult18),
+                                       static_cast<double>(k.res.bram));
+  };
   switch (c.kind) {
     case rtl::CellKind::Const:
     case rtl::CellKind::Slice:
@@ -56,75 +96,75 @@ CellCost cost(const rtl::Module& m, const rtl::Cell& c, const EstimateOptions& o
     case rtl::CellKind::Add:
     case rtl::CellKind::Sub:
     case rtl::CellKind::Neg:
-      k.res.lut4 = w;
-      k.delayNs = 0.62 + 0.042 * w; // LUT + MUXCY/XORCY chain
+      fromRow(Primitive::Add, effectiveWidth(m, c, 0));
       return k;
     case rtl::CellKind::Mul: {
       const int wa = widthOf(m, c.inputs[0]);
       const int wb = widthOf(m, c.inputs[1]);
       if (opt.useMult18) {
+        // Block count is structural in (wa, wb); delay follows the table at
+        // the widest operand (1 block <= 18 bits, a block array above).
         k.res.mult18 = std::max<int64_t>(1, ((wa + 16) / 17) * static_cast<int64_t>((wb + 16) / 17));
-        k.delayNs = k.res.mult18 == 1 ? 4.9 : 8.5;
+        k.delayNs = tm.delayNs(Primitive::Mul18, std::max(wa, wb));
       } else {
-        k.res.lut4 = static_cast<int64_t>(0.55 * wa * wb);
-        k.delayNs = 2.8 + 0.11 * std::max(wa, wb);
+        // An asymmetric wa x wb array is the geometric mean of the two
+        // square rows (lut(w) ~ k*w^2, so sqrt(lut(wa)*lut(wb)) ~ k*wa*wb).
+        k.res.lut4 = static_cast<int64_t>(
+            std::sqrt(tm.cost(Primitive::MulLut, wa).lut4 * tm.cost(Primitive::MulLut, wb).lut4));
+        k.delayNs = tm.delayNs(Primitive::MulLut, std::max(wa, wb));
       }
+      energyFromRes();
       return k;
     }
     case rtl::CellKind::Div:
-    case rtl::CellKind::Rem: {
+    case rtl::CellKind::Rem:
       // Un-expanded combinational array divider (only reachable with
-      // expandDividers=false): priced as W rows of subtract+mux.
-      k.res.lut4 = static_cast<int64_t>(w) * (w + 2);
-      k.delayNs = w * (0.62 + 0.042 * w);
+      // expandDividers=false): the table row prices the full W-row array.
+      fromRow(Primitive::Div, effectiveWidth(m, c, 0));
       return k;
-    }
     case rtl::CellKind::And:
     case rtl::CellKind::Or:
     case rtl::CellKind::Xor:
     case rtl::CellKind::Not:
-      k.res.lut4 = (w + 1) / 2; // two bits of 2-input logic per LUT4
-      k.delayNs = 0.44;
+      fromRow(Primitive::Logic, effectiveWidth(m, c, 0));
       return k;
     case rtl::CellKind::Shl:
-    case rtl::CellKind::Shr: {
+    case rtl::CellKind::Shr:
       if (drivenByConst(m, c.inputs[1])) return k; // constant shift = wiring
-      const int levels = static_cast<int>(std::ceil(std::log2(std::max(2, w))));
-      k.res.lut4 = static_cast<int64_t>(w) * levels / 2;
-      k.delayNs = 0.44 * levels + 0.3;
+      // The shifted word's width sizes the barrel; the amount input only
+      // picks mux levels and is excluded.
+      fromRow(Primitive::Shift, std::max(w, widthOf(m, c.inputs[0])));
       return k;
-    }
     case rtl::CellKind::Eq:
     case rtl::CellKind::Ne:
     case rtl::CellKind::Lt:
     case rtl::CellKind::Le:
     case rtl::CellKind::Gt:
-    case rtl::CellKind::Ge: {
-      const int cw = std::max(widthOf(m, c.inputs[0]), widthOf(m, c.inputs[1]));
-      k.res.lut4 = (cw + 1) / 2 + 1;
-      k.delayNs = 0.55 + 0.035 * cw;
+    case rtl::CellKind::Ge:
+      // 1-bit result; the carry chain spans the operands.
+      fromRow(Primitive::Cmp, std::max(widthOf(m, c.inputs[0]), widthOf(m, c.inputs[1])));
       return k;
-    }
     case rtl::CellKind::Mux:
-      k.res.lut4 = w; // 2:1 mux per bit (LUT3)
-      k.delayNs = 0.5;
+      // Data inputs (1, 2) size the mux tree; the select (0) is excluded.
+      fromRow(Primitive::Mux, effectiveWidth(m, c, 1));
       return k;
     case rtl::CellKind::Reg:
-      k.res.ff = w;
-      k.delayNs = 0; // clock-to-out folded into clockingOverheadNs
+      fromRow(Primitive::Reg, w);
       return k;
     case rtl::CellKind::Rom: {
       const int64_t bits = static_cast<int64_t>(c.romData.size()) * w;
       if (bits > opt.romBramThresholdBits) {
         k.res.bram = (bits + 18 * 1024 - 1) / (18 * 1024);
-        k.delayNs = 2.9; // BRAM access
+        k.delayNs = tm.bramAccessNs;
       } else {
-        // Distributed ROM: each LUT4 stores 16x1.
+        // Distributed ROM: each LUT4 stores 16x1; the read is one LUT level
+        // plus a mux level per doubling of depth.
         const int64_t depth16 = std::max<int64_t>(1, (static_cast<int64_t>(c.romData.size()) + 15) / 16);
         k.res.lut4 = depth16 * w;
         const int muxLevels = static_cast<int>(std::ceil(std::log2(static_cast<double>(depth16))));
-        k.delayNs = 0.44 + 0.4 * std::max(0, muxLevels);
+        k.delayNs = tm.cost(Primitive::Logic, 1).delayNs + tm.romMuxLevelNs * std::max(0, muxLevels);
       }
+      energyFromRes();
       return k;
     }
   }
@@ -135,6 +175,8 @@ CellCost cost(const rtl::Module& m, const rtl::Cell& c, const EstimateOptions& o
 
 Report estimate(const rtl::Module& m, const EstimateOptions& opt) {
   Report rep;
+  const TimingModel& tm = opt.timing ? *opt.timing : TimingModel::virtex2();
+  double leakageUw = 0;
 
   // SRL16 inference: register chains (reg -> reg, fanout 1, no enable)
   // of depth >= 3 become shift-register LUTs: width * ceil((k-1)/16)
@@ -176,8 +218,13 @@ Report estimate(const rtl::Module& m, const EstimateOptions& opt) {
         const int w = m.nets[static_cast<size_t>(c.output)].type.width;
         // All but the final stage collapse into SRL16s.
         const int64_t depth = static_cast<int64_t>(chain.size()) - 1;
-        rep.res.srl16 += w * ((depth + 15) / 16);
+        const int64_t srls = w * ((depth + 15) / 16);
+        rep.res.srl16 += srls;
         rep.res.ff += w; // the chain's output register
+        // An SRL16 switches like a LUT; the tail register like an FF.
+        rep.dynamicPjPerCycle +=
+            tm.resourceDynamicPj(static_cast<double>(srls), static_cast<double>(w), 0, 0);
+        leakageUw += tm.resourceLeakageUw(static_cast<double>(srls), static_cast<double>(w), 0, 0);
         for (size_t i = 0; i < chain.size(); ++i) regAsSrl[static_cast<size_t>(chain[i])] = 1;
       }
     }
@@ -188,9 +235,12 @@ Report estimate(const rtl::Module& m, const EstimateOptions& opt) {
     if (regAsSrl[static_cast<size_t>(c.id)]) continue; // priced as SRL16 above
     const CellCost k = cost(m, c, opt);
     rep.res += k.res;
+    rep.dynamicPjPerCycle += k.dynamicPj;
+    leakageUw += k.leakageUw;
     cellDelay[static_cast<size_t>(c.id)] = k.delayNs;
   }
   rep.slices = slicesFor(rep.res);
+  rep.leakageMw = leakageUw / 1000.0;
 
   // Longest combinational path: DFS with memoization over the cell DAG
   // (registers and inputs are path sources). arrival(cell) = max over
@@ -244,14 +294,15 @@ Resources memorySubsystemResources(int64_t bufferBits, int addressGenerators, in
 }
 
 double estimatePowerMw(const Resources& r, double clockMHz, double activity) {
-  // Virtex-II 1.5 V core, ~90 nm-era switched capacitance per resource:
-  // LUT ~4 pF effective (logic + local routing), FF ~2 pF, MULT18X18 block
-  // ~60 pF, BRAM ~90 pF per access. P = C * V^2 * f * activity.
-  const double vdd = 1.5;
-  const double capPf = 4.0 * static_cast<double>(r.lut4) + 2.0 * static_cast<double>(r.ff) +
-                       60.0 * static_cast<double>(r.mult18) + 90.0 * static_cast<double>(r.bram);
-  // pF * V^2 * MHz = microwatts; convert to milliwatts.
-  return capPf * vdd * vdd * clockMHz * activity / 1000.0;
+  // Activity-based CV^2f over the mapped resources; the per-resource
+  // switched capacitances (and the 1.5 V core) live in the timing model so
+  // estimation and the per-primitive energy rows share one calibration.
+  const TimingModel& tm = TimingModel::virtex2();
+  const double pj = tm.resourceDynamicPj(static_cast<double>(r.lut4), static_cast<double>(r.ff),
+                                         static_cast<double>(r.mult18),
+                                         static_cast<double>(r.bram));
+  // pJ * MHz = microwatts; convert to milliwatts.
+  return pj * clockMHz * activity / 1000.0;
 }
 
 std::string Report::summary() const {
@@ -259,7 +310,9 @@ std::string Report::summary() const {
   os << "slices=" << slices << " (lut4=" << res.lut4 << ", ff=" << res.ff
      << ", srl16=" << res.srl16 << ", mult18=" << res.mult18 << ", bram=" << res.bram
      << "), fmax=" << fmaxMHz()
-     << " MHz (critical " << criticalPathNs << " ns through " << criticalThrough << ")";
+     << " MHz (critical " << criticalPathNs << " ns through " << criticalThrough << ")"
+     << ", energy=" << energyPerCyclePj() << " pJ/cycle (leakage " << leakageMw
+     << " mW), EDP=" << edpPjNs() << " pJ*ns";
   return os.str();
 }
 

@@ -14,6 +14,7 @@
 #include <string>
 
 #include "rtl/netlist.hpp"
+#include "synth/timing.hpp"
 
 namespace roccc::synth {
 
@@ -42,6 +43,12 @@ struct EstimateOptions {
   /// SRL16 shift-register LUTs the way ISE's map does — a large area win
   /// for deeply pipelined data paths.
   bool inferSrl16 = true;
+  /// Timing/energy model the per-cell costs are looked up from; null = the
+  /// built-in Virtex-II-class table. The clockingOverheadNs/routingPerHopNs
+  /// fields above mirror that table's defaults — callers loading a
+  /// --timing-model override should copy the model's scalars here too
+  /// (tools/roccc_cc does).
+  const TimingModel* timing = nullptr;
 };
 
 struct Report {
@@ -49,7 +56,23 @@ struct Report {
   int64_t slices = 0;
   double criticalPathNs = 1.0;
   std::string criticalThrough; ///< name of the slowest cell, for reports
+  /// Switched energy of one full-activity evaluation of every mapped cell
+  /// (pJ), summed from the timing model's per-primitive energy rows; scale
+  /// by toggle activity for a per-cycle figure.
+  double dynamicPjPerCycle = 0;
+  /// Static leakage of the mapped resources (mW).
+  double leakageMw = 0;
   double fmaxMHz() const { return 1000.0 / criticalPathNs; }
+  /// Energy per cycle at the given activity (pJ): switched energy plus the
+  /// leakage burned over one critical-path period (1 mW x 1 ns = 1 pJ).
+  double energyPerCyclePj(double activity = 0.25) const {
+    return dynamicPjPerCycle * activity + leakageMw * criticalPathNs;
+  }
+  /// Energy-delay product (pJ x ns) at the critical-path clock — the
+  /// bench_table1 efficiency column.
+  double edpPjNs(double activity = 0.25) const {
+    return energyPerCyclePj(activity) * criticalPathNs;
+  }
   std::string summary() const;
 };
 

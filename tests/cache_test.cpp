@@ -105,11 +105,40 @@ TEST(CacheKey, SensitiveToEverySemanticOption) {
   add("maxUnrollProduct", [](CompileOptions& o) { o.budget.maxUnrollProduct = 512; });
   add("maxDepth", [](CompileOptions& o) { o.budget.maxDepth = 64; });
   add("injectFaultAt", [](CompileOptions& o) { o.injectFaultAt = "driver.job"; });
+  add("retimePipeline", [](CompileOptions& o) { o.retimePipeline = !o.retimePipeline; });
+  add("timingModelSpec",
+      [](CompileOptions& o) { o.timingModelSpec = "clock-overhead-ns 1.1\n"; });
 
   for (const auto& [label, options] : variants) {
     EXPECT_NE(computeCacheKey(kSmallKernel, options), baseKey) << label;
   }
   EXPECT_NE(computeCacheKey("void other() {}", base), baseKey) << "source bytes";
+}
+
+TEST(CacheKey, TimingOptionsPartitionHitsButStayByteIdenticalWithinKey) {
+  // Two stage-delay targets are two distinct cache entries (retiming places
+  // registers differently), and a repeat of either target is a warm hit
+  // serving byte-identical VHDL.
+  CompileOptions loose;
+  loose.dpOptions.targetStageDelayNs = 12.0;
+  CompileOptions tight;
+  tight.dpOptions.targetStageDelayNs = 2.0;
+  ASSERT_NE(computeCacheKey(bench::kFir, loose), computeCacheKey(bench::kFir, tight));
+
+  std::vector<CompileJob> jobs{{"loose", bench::kFir, loose}, {"tight", bench::kFir, tight}};
+  CompileService service(2);
+  auto cache = std::make_shared<CompileCache>();
+  service.setCache(cache);
+  const BatchResult cold = service.compileBatch(jobs);
+  ASSERT_TRUE(cold.allOk());
+  EXPECT_EQ(cold.cacheMisses, 2);
+  EXPECT_NE(cold.results[0].vhdl, cold.results[1].vhdl); // staging really differs
+
+  const BatchResult warm = service.compileBatch(jobs);
+  ASSERT_TRUE(warm.allOk());
+  EXPECT_EQ(warm.cacheHits, 2);
+  EXPECT_EQ(warm.results[0].vhdl, cold.results[0].vhdl);
+  EXPECT_EQ(warm.results[1].vhdl, cold.results[1].vhdl);
 }
 
 TEST(CacheKey, IgnoresPresentationOnlyFields) {

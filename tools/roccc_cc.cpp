@@ -18,7 +18,14 @@
 //   -o FILE            output VHDL path (default: <input>.vhd)
 //   --kernel NAME      kernel function (default: last function in the file)
 //   --unroll N         partially unroll the streaming loop by N
-//   --target-ns X      pipeline stage delay target (default 4.0)
+//   --target-ns X      pipeline stage delay target (default 4.0); the
+//                      retime pass rebalances register placement against it
+//   --timing-model FILE
+//                      load a per-primitive delay/area/energy table
+//                      overriding the built-in Virtex-II-class model (see
+//                      docs/SYNTHESIS.md for the file format)
+//   --no-retime        keep the fixed greedy staging (disable the
+//                      timing-driven retime pass; ablation knob)
 //   --mult-style S     'lut' (default) or 'mult18'
 //   --no-infer         disable bit-width inference
 //   --no-pipeline      single combinational stage
@@ -109,6 +116,7 @@ struct Args {
   int jobs = 1;
   std::string output;
   roccc::CompileOptions options;
+  std::string timingModelPath; ///< --timing-model; contents load into options
   bool testbench = false;
   uint64_t tbSeed = 0;
   bool tbSeedSet = false;
@@ -158,11 +166,15 @@ const std::vector<OptionSpec>& optionTable() {
        [](Args& a, const char* v) { a.options.kernelName = v; return true; }},
       {"--unroll", "N", "partially unroll the streaming loop by N",
        [](Args& a, const char* v) { a.options.unrollFactor = std::atoi(v); return true; }},
-      {"--target-ns", "X", "pipeline stage delay target in ns (default 4.0)",
+      {"--target-ns", "X", "pipeline stage delay target in ns (default 4.0); retime balances to it",
        [](Args& a, const char* v) {
          a.options.dpOptions.targetStageDelayNs = std::atof(v);
          return true;
        }},
+      {"--timing-model", "FILE", "per-primitive delay/area/energy table (docs/SYNTHESIS.md format)",
+       [](Args& a, const char* v) { a.timingModelPath = v; return true; }},
+      {"--no-retime", nullptr, "disable the timing-driven retime pass (fixed greedy staging)",
+       [](Args& a, const char*) { a.options.retimePipeline = false; return true; }},
       {"--mult-style", "S", "multiplier style: 'lut' (default) or 'mult18'",
        [](Args& a, const char* v) {
          if (std::strcmp(v, "lut") == 0) {
@@ -516,6 +528,27 @@ int main(int argc, char** argv) {
     if (const char* env = std::getenv("ROCCC_FAULT_INJECT")) a.options.injectFaultAt = env;
   }
 
+  // --timing-model: load the file *contents* into the compile options (the
+  // cache key hashes the contents, keeping a compile a pure function of
+  // (source, options)), and parse-validate it up front so a bad table is a
+  // single clear error instead of one per batch job.
+  roccc::synth::TimingModel timingModel = roccc::synth::TimingModel::virtex2();
+  if (!a.timingModelPath.empty()) {
+    std::ifstream tm(a.timingModelPath);
+    if (!tm) {
+      std::fprintf(stderr, "error: cannot open timing model '%s'\n", a.timingModelPath.c_str());
+      return 1;
+    }
+    std::ostringstream tmBuf;
+    tmBuf << tm.rdbuf();
+    a.options.timingModelSpec = tmBuf.str();
+    std::string tmError;
+    if (!roccc::synth::TimingModel::parse(a.options.timingModelSpec, timingModel, tmError)) {
+      std::fprintf(stderr, "error: %s: %s\n", a.timingModelPath.c_str(), tmError.c_str());
+      return 1;
+    }
+  }
+
   if (a.inputs.size() > 1) {
     if (!a.output.empty()) {
       std::fprintf(stderr, "error: -o is incompatible with multiple inputs "
@@ -551,7 +584,25 @@ int main(int argc, char** argv) {
       std::fprintf(stderr, "error: cannot write '%s'\n", a.statsJsonPath.c_str());
       return 1;
     }
-    sout << roccc::statsToJson(r.passLog);
+    std::string timingMember;
+    if (r.ok) {
+      roccc::synth::EstimateOptions eo;
+      eo.timing = &timingModel;
+      eo.clockingOverheadNs = timingModel.clockOverheadNs;
+      eo.routingPerHopNs = timingModel.routingPerHopNs;
+      const auto est = roccc::synth::estimate(r.module, eo);
+      const auto& rt = r.retiming;
+      std::ostringstream t;
+      t << "\"timing\": {\"targetNs\": " << a.options.dpOptions.targetStageDelayNs
+        << ", \"retimed\": " << (rt.run ? "true" : "false")
+        << ", \"stages\": " << r.datapath.stageCount << ", \"worstStageNs\": " << rt.worstStageNs
+        << ", \"criticalPathNs\": " << est.criticalPathNs << ", \"fmaxMHz\": " << est.fmaxMHz()
+        << ", \"slackNs\": " << rt.slackNs << ", \"feasible\": " << (rt.feasible ? "true" : "false")
+        << ", \"energy\": {\"dynamicPjPerCycle\": " << est.dynamicPjPerCycle
+        << ", \"leakageMw\": " << est.leakageMw << ", \"edpPjNs\": " << est.edpPjNs() << "}}";
+      timingMember = t.str();
+    }
+    sout << roccc::statsToJson(r.passLog, timingMember);
     if (!a.quiet) std::printf("wrote %s\n", a.statsJsonPath.c_str());
   }
   if (!r.ok) {
@@ -642,7 +693,18 @@ int main(int argc, char** argv) {
                 static_cast<int>(r.datapath.nodes.size()), r.datapath.softNodeCount,
                 r.datapath.hardNodeCount, r.datapath.stageCount,
                 static_cast<long long>(r.datapath.narrowedBits));
-    const auto rep = roccc::synth::estimate(r.module);
+    if (r.retiming.run) {
+      std::printf("retiming: %d -> %d stages @ %.2f ns target (worst stage %.2f ns, "
+                  "slack %+.2f ns, modeled fmax %.1f MHz, %s)\n",
+                  r.retiming.stagesBefore, r.retiming.stagesAfter, r.retiming.targetNs,
+                  r.retiming.worstStageNs, r.retiming.slackNs, r.retiming.fmaxMHz,
+                  r.retiming.feasible ? "feasible" : "infeasible target");
+    }
+    roccc::synth::EstimateOptions eo;
+    eo.timing = &timingModel;
+    eo.clockingOverheadNs = timingModel.clockOverheadNs;
+    eo.routingPerHopNs = timingModel.routingPerHopNs;
+    const auto rep = roccc::synth::estimate(r.module, eo);
     std::printf("synthesis estimate (xc2v2000-5): %s\n", rep.summary().c_str());
     std::printf("dynamic power @ fmax: %.1f mW\n",
                 roccc::synth::estimatePowerMw(rep.res, rep.fmaxMHz()));
