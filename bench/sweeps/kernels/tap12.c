@@ -1,0 +1,9 @@
+// 12-tap sliding-window sum — the smart-buffer reuse ablation kernel
+// (bench/sweeps/smart_buffer.sweep): the smart buffer reads each element
+// once; a naive buffer re-fetches the whole window per iteration.
+void tap12(const int16 A[75], int32 C[64]) {
+  int i;
+  for (i = 0; i < 64; i++) {
+    C[i] = A[i+0] + A[i+1] + A[i+2] + A[i+3] + A[i+4] + A[i+5] + A[i+6] + A[i+7] + A[i+8] + A[i+9] + A[i+10] + A[i+11];
+  }
+}

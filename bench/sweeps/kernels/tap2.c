@@ -1,0 +1,9 @@
+// 2-tap sliding-window sum — the smart-buffer reuse ablation kernel
+// (bench/sweeps/smart_buffer.sweep): the smart buffer reads each element
+// once; a naive buffer re-fetches the whole window per iteration.
+void tap2(const int16 A[65], int32 C[64]) {
+  int i;
+  for (i = 0; i < 64; i++) {
+    C[i] = A[i+0] + A[i+1];
+  }
+}

@@ -416,4 +416,12 @@ interp::KernelIO System::run(const interp::KernelIO& io) {
   return out;
 }
 
+SystemStats measureSystem(const hlir::KernelInfo& kernel, const dp::DataPath& dp,
+                          const Module& module, const interp::KernelIO& inputs,
+                          const SystemOptions& options) {
+  System system(kernel, dp, module, options);
+  system.run(inputs);
+  return system.stats();
+}
+
 } // namespace roccc::rtl

@@ -132,4 +132,11 @@ class System {
   std::string vcd_;
 };
 
+/// Stats-only convenience for metric collection (roccc-explore, benches):
+/// clocks `kernel` over `inputs` in the Fig 2 system and returns the run's
+/// statistics, discarding the outputs. Throws like System::run.
+SystemStats measureSystem(const hlir::KernelInfo& kernel, const dp::DataPath& dp,
+                          const Module& module, const interp::KernelIO& inputs,
+                          const SystemOptions& options = {});
+
 } // namespace roccc::rtl

@@ -49,6 +49,16 @@ struct EstimateOptions {
   /// --timing-model override should copy the model's scalars here too
   /// (tools/roccc_cc does).
   const TimingModel* timing = nullptr;
+
+  /// Options bound to `model`: timing table plus its clocking/routing
+  /// scalars. `model` must outlive the returned options.
+  static EstimateOptions forModel(const TimingModel& model) {
+    EstimateOptions opt;
+    opt.timing = &model;
+    opt.clockingOverheadNs = model.clockOverheadNs;
+    opt.routingPerHopNs = model.routingPerHopNs;
+    return opt;
+  }
 };
 
 struct Report {

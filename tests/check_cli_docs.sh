@@ -1,12 +1,13 @@
 #!/bin/sh
-# Checks that docs/CLI.md documents exactly the options roccc-cc --help
-# reports — both directions: an undocumented flag fails, and so does a
-# documented flag the binary no longer accepts.
+# Checks that a CLI reference doc documents exactly the options the paired
+# binary's --help reports — both directions: an undocumented flag fails,
+# and so does a documented flag the binary no longer accepts.
 #
-#   check_cli_docs.sh <path-to-roccc-cc> <path-to-CLI.md>
+#   check_cli_docs.sh <path-to-binary> <path-to-reference.md>
 #
-# Registered as the `cli_docs_in_sync` ctest (tests/CMakeLists.txt) and run
-# by the docs CI job.
+# Registered as the `cli_docs_in_sync` (roccc-cc / docs/CLI.md) and
+# `explore_cli_docs_in_sync` (roccc-explore / docs/EXPLORE.md) ctests
+# (tests/CMakeLists.txt) and run by the docs CI job.
 set -eu
 
 RCC="$1"
@@ -31,11 +32,11 @@ grep -oE '`--?[a-z][a-z0-9-]*' "$DOC" \
   | sort -u > "$tmpdir/doc_flags"
 
 if ! diff -u "$tmpdir/help_flags" "$tmpdir/doc_flags" > "$tmpdir/diff"; then
-  echo "docs/CLI.md is out of sync with roccc-cc --help:" >&2
+  echo "$DOC is out of sync with $(basename "$RCC") --help:" >&2
   echo "(lines prefixed '-' are in --help but undocumented;" >&2
   echo " lines prefixed '+' are documented but not in --help)" >&2
   cat "$tmpdir/diff" >&2
   exit 1
 fi
 
-echo "docs/CLI.md and roccc-cc --help agree ($(wc -l < "$tmpdir/help_flags") flags)"
+echo "$DOC and $(basename "$RCC") --help agree ($(wc -l < "$tmpdir/help_flags") flags)"

@@ -586,11 +586,8 @@ int main(int argc, char** argv) {
     }
     std::string timingMember;
     if (r.ok) {
-      roccc::synth::EstimateOptions eo;
-      eo.timing = &timingModel;
-      eo.clockingOverheadNs = timingModel.clockOverheadNs;
-      eo.routingPerHopNs = timingModel.routingPerHopNs;
-      const auto est = roccc::synth::estimate(r.module, eo);
+      const auto est =
+          roccc::synth::estimate(r.module, roccc::synth::EstimateOptions::forModel(timingModel));
       const auto& rt = r.retiming;
       std::ostringstream t;
       t << "\"timing\": {\"targetNs\": " << a.options.dpOptions.targetStageDelayNs
@@ -700,11 +697,8 @@ int main(int argc, char** argv) {
                   r.retiming.worstStageNs, r.retiming.slackNs, r.retiming.fmaxMHz,
                   r.retiming.feasible ? "feasible" : "infeasible target");
     }
-    roccc::synth::EstimateOptions eo;
-    eo.timing = &timingModel;
-    eo.clockingOverheadNs = timingModel.clockOverheadNs;
-    eo.routingPerHopNs = timingModel.routingPerHopNs;
-    const auto rep = roccc::synth::estimate(r.module, eo);
+    const auto rep =
+        roccc::synth::estimate(r.module, roccc::synth::EstimateOptions::forModel(timingModel));
     std::printf("synthesis estimate (xc2v2000-5): %s\n", rep.summary().c_str());
     std::printf("dynamic power @ fmax: %.1f mW\n",
                 roccc::synth::estimatePowerMw(rep.res, rep.fmaxMHz()));
