@@ -1,0 +1,129 @@
+// Daemon throughput: the roccc-ccd service under concurrent client load,
+// cold cache (every job is a real compile) vs warm cache (every job is a
+// shared-cache hit), at 1 / 8 / 64 concurrent client connections over the
+// nine Table 1 kernels. Feeds the service section of EXPERIMENTS.md.
+//
+// The daemon runs in-process on a scratch AF_UNIX socket; every job goes
+// over the real wire (connect, JSON frame, admission window, worker pool),
+// so the numbers include the full protocol overhead a client pays.
+#include <cstdio>
+#include <filesystem>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "kernels.hpp"
+#include "roccc/service_net.hpp"
+#include "support/timer.hpp"
+
+namespace {
+
+using namespace roccc;
+
+constexpr int kTotalJobs = 256; // per configuration, split across clients
+
+json::Value kernelRequest(int index) {
+  const auto& k = bench::kTable1Kernels[index % std::size(bench::kTable1Kernels)];
+  json::Value options = json::Value::object();
+  if (k.targetStageDelayNs > 0) {
+    options.set("targetNs", json::Value::number(k.targetStageDelayNs));
+  }
+  return makeCompileRequest(k.name, k.source, std::move(options));
+}
+
+struct RunResult {
+  double wallMs = 0;
+  int failures = 0;
+};
+
+/// `clients` connections, each issuing its share of kTotalJobs sequential
+/// compile requests round-robin over the Table 1 kernels.
+RunResult run(const std::string& socketPath, int clients) {
+  std::vector<std::thread> threads;
+  std::vector<int> failures(clients, 0);
+  WallTimer timer;
+  for (int c = 0; c < clients; ++c) {
+    threads.emplace_back([&, c] {
+      ServiceClient client;
+      std::string error;
+      if (!client.connect(socketPath, error)) {
+        ++failures[c];
+        return;
+      }
+      for (int j = c; j < kTotalJobs; j += clients) {
+        json::Value resp;
+        if (!client.request(kernelRequest(j), resp, error)) {
+          ++failures[c];
+          continue;
+        }
+        const json::Value* status = resp.find("status");
+        if (!status || !status->isString() || status->asString() != "ok") ++failures[c];
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  RunResult r;
+  r.wallMs = timer.elapsedMs();
+  for (const int f : failures) r.failures += f;
+  return r;
+}
+
+double metricP95(const std::string& socketPath) {
+  ServiceClient client;
+  std::string error;
+  if (!client.connect(socketPath, error)) return 0;
+  json::Value req = json::Value::object();
+  req.set("type", json::Value::string("metrics"));
+  json::Value resp;
+  if (!client.request(req, resp, error)) return 0;
+  const json::Value* svc = resp.find("serviceMs");
+  const json::Value* p95 = svc ? svc->find("p95Ms") : nullptr;
+  return p95 && p95->isNumber() ? p95->asDouble() : 0;
+}
+
+} // namespace
+
+int main() {
+  const std::string socketPath =
+      (std::filesystem::temp_directory_path() / "roccc_bench_service.sock").string();
+
+  std::printf("roccc-ccd throughput: %d jobs over the Table 1 kernels per cell\n", kTotalJobs);
+  std::printf("%-8s %-6s %10s %10s %10s   %s\n", "clients", "cache", "wall ms", "jobs/s",
+              "p95 ms", "failures");
+  for (const bool warm : {false, true}) {
+    for (const int clients : {1, 8, 64}) {
+      ServiceConfig cfg;
+      cfg.socketPath = socketPath;
+      cfg.maxQueue = 512;
+      cfg.cacheEnabled = warm;
+      ServiceDaemon daemon(cfg);
+      std::string error;
+      if (!daemon.start(error)) {
+        std::fprintf(stderr, "error: %s\n", error.c_str());
+        return 1;
+      }
+      if (warm) {
+        // Pre-warm: one serial pass over the nine kernels, so the timed
+        // run is all shared-cache hits.
+        ServiceClient warmer;
+        if (!warmer.connect(socketPath, error)) {
+          std::fprintf(stderr, "error: %s\n", error.c_str());
+          return 1;
+        }
+        for (size_t k = 0; k < std::size(bench::kTable1Kernels); ++k) {
+          json::Value resp;
+          if (!warmer.request(kernelRequest(static_cast<int>(k)), resp, error)) {
+            std::fprintf(stderr, "error: warm-up: %s\n", error.c_str());
+            return 1;
+          }
+        }
+      }
+      const RunResult r = run(socketPath, clients);
+      const double p95 = metricP95(socketPath);
+      daemon.stop();
+      std::printf("%-8d %-6s %10.1f %10.1f %10.2f   %d\n", clients, warm ? "warm" : "cold",
+                  r.wallMs, kTotalJobs * 1000.0 / r.wallMs, p95, r.failures);
+    }
+  }
+  return 0;
+}

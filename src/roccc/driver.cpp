@@ -48,6 +48,27 @@ std::string BatchResult::outcomeSummary() const {
   return out.empty() ? "empty" : out;
 }
 
+CompileResult runContainedJob(const CompileJob& job) {
+  FaultInjectionScope faultScope(job.options.injectFaultAt);
+  try {
+    faultpoint("driver.job");
+    const Compiler compiler(job.options);
+    return compiler.compileSource(job.source);
+  } catch (const std::exception& e) {
+    CompileResult r;
+    r.outcome = CompileOutcome::InternalError;
+    r.diags.error({}, fmt("internal: job '%0' failed outside the pipeline: %1", job.name,
+                          e.what()));
+    return r;
+  } catch (...) {
+    CompileResult r;
+    r.outcome = CompileOutcome::InternalError;
+    r.diags.error({}, fmt("internal: job '%0' failed outside the pipeline: unknown exception",
+                          job.name));
+    return r;
+  }
+}
+
 CompileService::CompileService(int workers) : workers_(workers) {
   if (workers_ <= 0) {
     workers_ = std::max(1u, std::thread::hardware_concurrency());
@@ -72,26 +93,7 @@ BatchResult CompileService::compileBatch(const std::vector<CompileJob>& jobs) co
   // sibling's result.
   std::atomic<int> cacheHits{0};
   std::atomic<int> cacheMisses{0};
-  auto compileJob = [&jobs](size_t i) -> CompileResult {
-    FaultInjectionScope faultScope(jobs[i].options.injectFaultAt);
-    try {
-      faultpoint("driver.job");
-      const Compiler compiler(jobs[i].options);
-      return compiler.compileSource(jobs[i].source);
-    } catch (const std::exception& e) {
-      CompileResult r;
-      r.outcome = CompileOutcome::InternalError;
-      r.diags.error({}, fmt("internal: job '%0' failed outside the pipeline: %1", jobs[i].name,
-                            e.what()));
-      return r;
-    } catch (...) {
-      CompileResult r;
-      r.outcome = CompileOutcome::InternalError;
-      r.diags.error({}, fmt("internal: job '%0' failed outside the pipeline: unknown exception",
-                            jobs[i].name));
-      return r;
-    }
-  };
+  auto compileJob = [&jobs](size_t i) -> CompileResult { return runContainedJob(jobs[i]); };
   // With a cache attached, each job first derives its content-addressed key
   // (on the worker thread — hashing is part of the job, not the submit
   // loop); getOrCompute single-flights concurrent identical jobs onto one

@@ -72,6 +72,14 @@ struct BatchResult {
   std::string outcomeSummary() const;
 };
 
+/// The contained single-job compile body: fault-injection scope, fresh
+/// Compiler, and the last-resort catch that turns anything escaping the
+/// pipeline into an InternalError in the returned result. compileBatch
+/// runs every job through this, and so does the roccc-ccd daemon
+/// (src/roccc/service_net.hpp) — sharing the body is what makes a
+/// daemon-served compile byte-identical to a CLI one by construction.
+CompileResult runContainedJob(const CompileJob& job);
+
 class CompileService {
  public:
   /// `workers` == 0 picks the hardware concurrency (min 1).

@@ -1,0 +1,421 @@
+#include "support/json.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+#include "support/strings.hpp"
+
+namespace roccc::json {
+
+Value Value::boolean(bool b) {
+  Value v;
+  v.kind_ = Kind::Bool;
+  v.bool_ = b;
+  return v;
+}
+
+Value Value::number(double d) {
+  Value v;
+  v.kind_ = Kind::Number;
+  v.number_ = d;
+  // Integral doubles inside the exact range serialize as integers.
+  if (d == std::floor(d) && std::abs(d) < 9.007199254740992e15) {
+    v.int_ = static_cast<int64_t>(d);
+    v.isInt_ = true;
+  }
+  return v;
+}
+
+Value Value::number(int64_t i) {
+  Value v;
+  v.kind_ = Kind::Number;
+  v.number_ = static_cast<double>(i);
+  v.int_ = i;
+  v.isInt_ = true;
+  return v;
+}
+
+Value Value::string(std::string s) {
+  Value v;
+  v.kind_ = Kind::String;
+  v.string_ = std::move(s);
+  return v;
+}
+
+Value Value::array() {
+  Value v;
+  v.kind_ = Kind::Array;
+  return v;
+}
+
+Value Value::object() {
+  Value v;
+  v.kind_ = Kind::Object;
+  return v;
+}
+
+const Value* Value::find(std::string_view key) const {
+  for (const auto& [k, v] : members_) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+void Value::push(Value v) { items_.push_back(std::move(v)); }
+
+void Value::set(std::string_view key, Value v) {
+  for (auto& [k, existing] : members_) {
+    if (k == key) {
+      existing = std::move(v);
+      return;
+    }
+  }
+  members_.emplace_back(std::string(key), std::move(v));
+}
+
+std::string escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char ch : s) {
+    const unsigned char c = static_cast<unsigned char>(ch);
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      default:
+        if (c < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += ch;
+        }
+    }
+  }
+  return out;
+}
+
+namespace {
+
+void dumpTo(const Value& v, std::string& out) {
+  switch (v.kind()) {
+    case Value::Kind::Null: out += "null"; return;
+    case Value::Kind::Bool: out += v.asBool() ? "true" : "false"; return;
+    case Value::Kind::Number: {
+      if (v.isIntegral()) {
+        out += std::to_string(v.asInt());
+      } else {
+        char buf[40];
+        std::snprintf(buf, sizeof buf, "%.17g", v.asDouble());
+        out += buf;
+      }
+      return;
+    }
+    case Value::Kind::String:
+      out += '"';
+      out += escape(v.asString());
+      out += '"';
+      return;
+    case Value::Kind::Array: {
+      out += '[';
+      bool first = true;
+      for (const auto& item : v.items()) {
+        if (!first) out += ',';
+        first = false;
+        dumpTo(item, out);
+      }
+      out += ']';
+      return;
+    }
+    case Value::Kind::Object: {
+      out += '{';
+      bool first = true;
+      for (const auto& [key, member] : v.members()) {
+        if (!first) out += ',';
+        first = false;
+        out += '"';
+        out += escape(key);
+        out += "\":";
+        dumpTo(member, out);
+      }
+      out += '}';
+      return;
+    }
+  }
+}
+
+/// Recursive-descent RFC 8259 parser over a string_view. Strict: every
+/// deviation is an error with a byte offset, and nesting is capped.
+class Parser {
+ public:
+  Parser(std::string_view text, int maxDepth) : text_(text), maxDepth_(maxDepth) {}
+
+  bool run(Value& out, std::string& error) {
+    skipWs();
+    if (!parseValue(out, 0)) {
+      error = fmt("%0 at byte %1", error_, pos_);
+      return false;
+    }
+    skipWs();
+    if (pos_ != text_.size()) {
+      error = fmt("trailing bytes after document at byte %0", pos_);
+      return false;
+    }
+    return true;
+  }
+
+ private:
+  bool fail(const std::string& why) {
+    if (error_.empty()) error_ = why;
+    return false;
+  }
+
+  void skipWs() {
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c != ' ' && c != '\t' && c != '\n' && c != '\r') break;
+      ++pos_;
+    }
+  }
+
+  bool literal(std::string_view word) {
+    if (text_.substr(pos_, word.size()) != word) return fail("invalid literal");
+    pos_ += word.size();
+    return true;
+  }
+
+  bool parseValue(Value& out, int depth) {
+    if (depth > maxDepth_) return fail("nesting too deep");
+    if (pos_ >= text_.size()) return fail("unexpected end of input");
+    switch (text_[pos_]) {
+      case 'n': return literal("null") && (out = Value::null(), true);
+      case 't': return literal("true") && (out = Value::boolean(true), true);
+      case 'f': return literal("false") && (out = Value::boolean(false), true);
+      case '"': {
+        std::string s;
+        if (!parseString(s)) return false;
+        out = Value::string(std::move(s));
+        return true;
+      }
+      case '[': return parseArray(out, depth);
+      case '{': return parseObject(out, depth);
+      default: return parseNumber(out);
+    }
+  }
+
+  bool parseArray(Value& out, int depth) {
+    ++pos_; // '['
+    out = Value::array();
+    skipWs();
+    if (pos_ < text_.size() && text_[pos_] == ']') {
+      ++pos_;
+      return true;
+    }
+    while (true) {
+      Value item;
+      skipWs();
+      if (!parseValue(item, depth + 1)) return false;
+      out.push(std::move(item));
+      skipWs();
+      if (pos_ >= text_.size()) return fail("unterminated array");
+      if (text_[pos_] == ',') {
+        ++pos_;
+        continue;
+      }
+      if (text_[pos_] == ']') {
+        ++pos_;
+        return true;
+      }
+      return fail("expected ',' or ']' in array");
+    }
+  }
+
+  bool parseObject(Value& out, int depth) {
+    ++pos_; // '{'
+    out = Value::object();
+    skipWs();
+    if (pos_ < text_.size() && text_[pos_] == '}') {
+      ++pos_;
+      return true;
+    }
+    while (true) {
+      skipWs();
+      if (pos_ >= text_.size() || text_[pos_] != '"') return fail("expected object key string");
+      std::string key;
+      if (!parseString(key)) return false;
+      skipWs();
+      if (pos_ >= text_.size() || text_[pos_] != ':') return fail("expected ':' after object key");
+      ++pos_;
+      skipWs();
+      Value member;
+      if (!parseValue(member, depth + 1)) return false;
+      out.set(key, std::move(member));
+      skipWs();
+      if (pos_ >= text_.size()) return fail("unterminated object");
+      if (text_[pos_] == ',') {
+        ++pos_;
+        continue;
+      }
+      if (text_[pos_] == '}') {
+        ++pos_;
+        return true;
+      }
+      return fail("expected ',' or '}' in object");
+    }
+  }
+
+  bool hex4(uint32_t& out) {
+    if (pos_ + 4 > text_.size()) return fail("truncated \\u escape");
+    out = 0;
+    for (int i = 0; i < 4; ++i) {
+      const char c = text_[pos_ + static_cast<size_t>(i)];
+      uint32_t digit;
+      if (c >= '0' && c <= '9') digit = static_cast<uint32_t>(c - '0');
+      else if (c >= 'a' && c <= 'f') digit = static_cast<uint32_t>(c - 'a' + 10);
+      else if (c >= 'A' && c <= 'F') digit = static_cast<uint32_t>(c - 'A' + 10);
+      else return fail("bad hex digit in \\u escape");
+      out = out * 16 + digit;
+    }
+    pos_ += 4;
+    return true;
+  }
+
+  void appendUtf8(std::string& s, uint32_t cp) {
+    if (cp < 0x80) {
+      s += static_cast<char>(cp);
+    } else if (cp < 0x800) {
+      s += static_cast<char>(0xC0 | (cp >> 6));
+      s += static_cast<char>(0x80 | (cp & 0x3F));
+    } else if (cp < 0x10000) {
+      s += static_cast<char>(0xE0 | (cp >> 12));
+      s += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+      s += static_cast<char>(0x80 | (cp & 0x3F));
+    } else {
+      s += static_cast<char>(0xF0 | (cp >> 18));
+      s += static_cast<char>(0x80 | ((cp >> 12) & 0x3F));
+      s += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+      s += static_cast<char>(0x80 | (cp & 0x3F));
+    }
+  }
+
+  bool parseString(std::string& out) {
+    ++pos_; // opening quote
+    out.clear();
+    while (true) {
+      if (pos_ >= text_.size()) return fail("unterminated string");
+      const unsigned char c = static_cast<unsigned char>(text_[pos_]);
+      if (c == '"') {
+        ++pos_;
+        return true;
+      }
+      if (c < 0x20) return fail("raw control character in string");
+      if (c != '\\') {
+        out += static_cast<char>(c);
+        ++pos_;
+        continue;
+      }
+      ++pos_; // backslash
+      if (pos_ >= text_.size()) return fail("truncated escape");
+      const char e = text_[pos_++];
+      switch (e) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'n': out += '\n'; break;
+        case 'r': out += '\r'; break;
+        case 't': out += '\t'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'u': {
+          uint32_t cp;
+          if (!hex4(cp)) return false;
+          if (cp >= 0xD800 && cp <= 0xDBFF) { // leading surrogate
+            if (pos_ + 1 >= text_.size() || text_[pos_] != '\\' || text_[pos_ + 1] != 'u') {
+              return fail("unpaired surrogate");
+            }
+            pos_ += 2;
+            uint32_t low;
+            if (!hex4(low)) return false;
+            if (low < 0xDC00 || low > 0xDFFF) return fail("invalid low surrogate");
+            cp = 0x10000 + ((cp - 0xD800) << 10) + (low - 0xDC00);
+          } else if (cp >= 0xDC00 && cp <= 0xDFFF) {
+            return fail("unpaired surrogate");
+          }
+          appendUtf8(out, cp);
+          break;
+        }
+        default: return fail("bad escape character");
+      }
+    }
+  }
+
+  bool parseNumber(Value& out) {
+    const size_t start = pos_;
+    if (pos_ < text_.size() && text_[pos_] == '-') ++pos_;
+    if (pos_ >= text_.size() || text_[pos_] < '0' || text_[pos_] > '9') {
+      pos_ = start;
+      return fail("invalid value");
+    }
+    // Leading zeros are forbidden ("01" is two documents, i.e. an error).
+    if (text_[pos_] == '0' && pos_ + 1 < text_.size() && text_[pos_ + 1] >= '0' &&
+        text_[pos_ + 1] <= '9') {
+      return fail("leading zero in number");
+    }
+    bool integral = true;
+    while (pos_ < text_.size() && text_[pos_] >= '0' && text_[pos_] <= '9') ++pos_;
+    if (pos_ < text_.size() && text_[pos_] == '.') {
+      integral = false;
+      ++pos_;
+      if (pos_ >= text_.size() || text_[pos_] < '0' || text_[pos_] > '9') {
+        return fail("digit required after decimal point");
+      }
+      while (pos_ < text_.size() && text_[pos_] >= '0' && text_[pos_] <= '9') ++pos_;
+    }
+    if (pos_ < text_.size() && (text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      integral = false;
+      ++pos_;
+      if (pos_ < text_.size() && (text_[pos_] == '+' || text_[pos_] == '-')) ++pos_;
+      if (pos_ >= text_.size() || text_[pos_] < '0' || text_[pos_] > '9') {
+        return fail("digit required in exponent");
+      }
+      while (pos_ < text_.size() && text_[pos_] >= '0' && text_[pos_] <= '9') ++pos_;
+    }
+    const std::string lit(text_.substr(start, pos_ - start));
+    if (integral) {
+      errno = 0;
+      char* end = nullptr;
+      const long long i = std::strtoll(lit.c_str(), &end, 10);
+      if (errno == 0 && end && *end == '\0') {
+        out = Value::number(static_cast<int64_t>(i));
+        return true;
+      }
+    }
+    out = Value::number(std::strtod(lit.c_str(), nullptr));
+    return true;
+  }
+
+  std::string_view text_;
+  size_t pos_ = 0;
+  int maxDepth_;
+  std::string error_;
+};
+
+} // namespace
+
+std::string Value::dump() const {
+  std::string out;
+  dumpTo(*this, out);
+  return out;
+}
+
+bool parse(std::string_view text, Value& out, std::string& error, int maxDepth) {
+  Parser p(text, maxDepth);
+  return p.run(out, error);
+}
+
+} // namespace roccc::json
